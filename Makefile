@@ -1,0 +1,19 @@
+.PHONY: install test bench experiments examples lint clean
+
+install:
+	pip install -e .[test]
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results **/__pycache__

@@ -1,0 +1,30 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, prints it,
+saves it under ``benchmarks/results/`` and asserts the paper's
+qualitative claims (signs, orderings, rough factors) hold on the
+synthetic testcases.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a TableResult under benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(table, name: str):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.format() + "\n")
+        print()
+        print(table.format())
+        return path
+
+    return _save

@@ -1,0 +1,42 @@
+"""Ablation: dose-map smoothness bound delta (Section V discussion).
+
+The paper: "tighter smoothness bounds (i.e., delta < 2) will result in
+smaller timing improvement by enforcing smaller available dose changes
+within each rectangular grid".
+"""
+
+from repro.core import optimize_dose_map
+from repro.experiments import get_context
+from repro.experiments.harness import TableResult
+
+DELTAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _run():
+    ctx = get_context("AES-65")
+    rows = []
+    for delta in DELTAS:
+        res = optimize_dose_map(ctx, 10.0, mode="qcp", smoothness=delta)
+        rows.append([delta, res.mct, res.mct_improvement_pct,
+                     res.leakage, res.dose_map_poly.values.max()])
+    return TableResult(
+        exp_id="Ablation",
+        title="QCP MCT improvement vs smoothness bound delta (AES-65, 10um)",
+        headers=["delta %", "MCT ns", "MCT imp %", "leakage uW", "max dose %"],
+        rows=rows,
+    )
+
+
+def _check(table):
+    imps = table.column("MCT imp %")
+    # non-decreasing improvement as delta relaxes (tolerance: snap noise)
+    assert imps[0] <= imps[-1] + 0.3
+    assert imps[0] <= imps[2] + 0.3
+    max_doses = table.column("max dose %")
+    assert max_doses[0] <= max_doses[-1] + 1e-9
+
+
+def test_ablation_smoothness(benchmark, save_result):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(table, "ablation_smoothness")
+    _check(table)

@@ -1,0 +1,64 @@
+"""Baseline benchmark: design-blind CD-uniformity dose mapping (ACLV).
+
+The pre-paper use of DoseMapper ("used solely ... to reduce ACLV or AWLV
+metrics", Section I).  Checks that (a) the uniformity QP flattens a
+systematic CD-error map, and (b) a *design-aware* QCP map beats the
+CD-flat map on timing -- the motivating comparison of the paper.
+"""
+
+import numpy as np
+
+from repro.core import optimize_dose_map
+from repro.dosemap import (
+    DoseMap,
+    GridPartition,
+    aclv_nm,
+    optimize_cd_uniformity,
+    systematic_cd_error_map,
+)
+from repro.experiments import get_context
+from repro.experiments.harness import TableResult
+
+
+def _run():
+    ctx = get_context("AES-65")
+    part = GridPartition(
+        ctx.placement.die.width, ctx.placement.die.height, 5.0
+    )
+    cd = systematic_cd_error_map(part, radial_nm=3.0, slit_nm=2.0)
+    flat = optimize_cd_uniformity(cd, part)
+    res_flat, leak_flat = ctx.golden_eval(DoseMap(part, values=flat.values))
+    design = optimize_dose_map(ctx, 5.0, mode="qcp")
+
+    rows = [
+        ["no correction", aclv_nm(cd), ctx.baseline.mct,
+         ctx.baseline_leakage],
+        ["ACLV-optimal (design-blind)", aclv_nm(cd, flat), res_flat.mct,
+         leak_flat],
+        ["design-aware QCP", float("nan"), design.mct, design.leakage],
+    ]
+    return TableResult(
+        exp_id="Baseline (Sec. I)",
+        title="CD-uniformity dose mapping vs design-aware dose mapping "
+        "(AES-65, 5 um grids)",
+        headers=["dose map", "residual ACLV nm", "MCT ns", "leakage uW"],
+        rows=rows,
+        notes=["a CD-flat chip is not a timing-optimal chip: the "
+               "design-aware map trades CD uniformity for yield"],
+    )
+
+
+def _check(table):
+    aclv = table.column("residual ACLV nm")
+    assert aclv[1] < 0.5 * aclv[0], "uniformity QP must flatten CD"
+    mcts = table.column("MCT ns")
+    assert mcts[2] < mcts[1], "design-aware map must beat CD-flat on MCT"
+    assert mcts[2] < mcts[0]
+    leaks = table.column("leakage uW")
+    assert leaks[2] < 1.05 * leaks[0]
+
+
+def test_aclv_baseline(benchmark, save_result):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(table, "baseline_aclv")
+    _check(table)

@@ -1,0 +1,75 @@
+"""Baseline benchmark: knob-granularity comparison.
+
+Three leakage-recovery knobs at fixed timing, ordered by granularity:
+
+1. **uniform dose** (chip-wide, the pre-paper knob) -- cannot reduce
+   leakage without breaking timing (Tables II/III),
+2. **dose map** (per-grid with smoothness, this paper's knob) -- large
+   recovery, zero mask cost,
+3. **per-cell gate-length biasing** (Gupta et al. [4], requires mask
+   change) -- the upper bound on recovery.
+
+The paper's footnote-2 positioning is exactly this ordering; the bench
+verifies it and records how much of the mask-change headroom the
+mask-free dose map captures.
+"""
+
+from repro.core import bias_gate_lengths, optimize_dose_map, uniform_dose_sweep
+from repro.experiments import get_context
+from repro.experiments.harness import TableResult
+
+
+def _run():
+    ctx = get_context("AES-65")
+
+    # best uniform dose that does not degrade timing: only d <= 0 keeps
+    # MCT, and any d < 0 degrades it; so the best timing-safe uniform
+    # leakage improvement is ~0
+    uniform = [
+        p
+        for p in uniform_dose_sweep(ctx, doses=[-1.0, -0.5, 0.0])
+        if p.mct <= ctx.baseline.mct * 1.0001
+    ]
+    best_uniform = max(p.leakage_improvement_pct for p in uniform)
+
+    dm = optimize_dose_map(ctx, 5.0, mode="qp")
+    gl = bias_gate_lengths(ctx)
+
+    rows = [
+        ["uniform dose (timing-safe)", best_uniform, 0.0, "none"],
+        ["dose map QP 5x5 um", dm.leakage_improvement_pct,
+         dm.mct_improvement_pct, "none"],
+        ["per-cell GL bias [4]", gl.leakage_improvement_pct,
+         gl.mct_improvement_pct, "mask respin"],
+    ]
+    table = TableResult(
+        exp_id="Baseline ([4])",
+        title="Leakage recovery at fixed timing, by knob granularity "
+        "(AES-65)",
+        headers=["knob", "leak imp %", "MCT imp %", "cost"],
+        rows=rows,
+    )
+    captured = dm.leakage_improvement_pct / max(
+        gl.leakage_improvement_pct, 1e-9
+    )
+    table.notes.append(
+        f"the mask-free dose map captures {captured * 100:.0f}% of the "
+        "mask-change biasing headroom"
+    )
+    return table
+
+
+def _check(table):
+    imps = table.column("leak imp %")
+    uniform, dose_map, glbias = imps
+    assert uniform <= 0.5, "uniform dose must not recover leakage safely"
+    assert dose_map > 10.0, "dose map must recover substantial leakage"
+    assert glbias >= dose_map - 0.5, "per-cell biasing is the upper bound"
+    for mct_imp in table.column("MCT imp %"):
+        assert mct_imp > -0.3, "all knobs must hold timing"
+
+
+def test_knob_granularity(benchmark, save_result):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(table, "baseline_glbias")
+    _check(table)

@@ -1,0 +1,60 @@
+"""Extension benchmark: the timing-leakage Pareto frontier.
+
+The paper's QP and QCP are two cuts through one trade-off surface; this
+bench traces the frontier by sweeping the QCP leakage budget on AES-65
+and checks its structure (monotonicity; a knee exists between the
+endpoints; diminishing returns).
+"""
+
+from repro.core import is_frontier_monotone, knee_point, tradeoff_curve
+from repro.experiments import get_context
+from repro.experiments.harness import TableResult
+
+BUDGETS = (-10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 40.0)
+
+
+def _run():
+    ctx = get_context("AES-65")
+    points = tradeoff_curve(ctx, grid_size=10.0, budgets_pct=BUDGETS)
+    rows = [
+        [p.budget_pct, p.mct, p.mct_improvement_pct, p.leakage,
+         p.leakage_improvement_pct]
+        for p in points
+    ]
+    table = TableResult(
+        exp_id="Extension (Pareto)",
+        title="MCT vs leakage-budget frontier (AES-65, 10 um grids, QCP)",
+        headers=["budget %", "MCT ns", "MCT imp %", "leakage uW",
+                 "leak imp %"],
+        rows=rows,
+    )
+    knee = knee_point(points)
+    table.notes.append(
+        f"knee at budget {knee.budget_pct:+.0f}% "
+        f"(MCT {knee.mct:.3f} ns, leakage {knee.leakage:.1f} uW)"
+    )
+    table.notes.append(
+        "monotone frontier: "
+        + str(is_frontier_monotone(points, tol=5e-3))
+    )
+    return table
+
+
+def _check(table):
+    mcts = table.column("MCT ns")
+    # monotone within snap noise
+    assert all(b <= a + 5e-3 for a, b in zip(mcts, mcts[1:]))
+    # diminishing returns: MCT gained per percent of budget shrinks as
+    # the budget grows
+    by_budget = dict(zip(table.column("budget %"), mcts))
+    gain_early = (by_budget[0.0] - by_budget[10.0]) / 10.0
+    gain_late = (by_budget[20.0] - by_budget[40.0]) / 20.0
+    assert gain_early >= gain_late - 1e-4
+    # tightest budget still beats or matches baseline timing
+    assert table.rows[0][2] > -0.5
+
+
+def test_pareto_frontier(benchmark, save_result):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(table, "extension_pareto")
+    _check(table)

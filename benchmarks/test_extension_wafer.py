@@ -1,0 +1,59 @@
+"""Extension benchmark: across-wafer delay-variation minimization.
+
+The paper's Section VI names this as ongoing work: "extension of the
+dose map optimization methodology to minimize the delay variation of
+different chips across the wafer or the exposure field".  This bench
+exercises our implementation of it and records the wafer-level table.
+"""
+
+from repro.experiments import get_context
+from repro.experiments.harness import TableResult
+from repro.wafer import Wafer, equalize_wafer_timing
+
+
+def _run():
+    ctx = get_context("AES-65")
+    rows = []
+    for bias in (2.0, 4.0, 8.0):
+        wafer = Wafer(radial_cd_bias_nm=bias)
+        res = equalize_wafer_timing(ctx, wafer)
+        target = ctx.baseline.mct * 1.01
+        rows.append(
+            [
+                bias,
+                wafer.n_dies,
+                res.spread_before * 1e3,
+                res.spread_after * 1e3,
+                res.timing_yield(target, after=False) * 100.0,
+                res.timing_yield(target) * 100.0,
+            ]
+        )
+    return TableResult(
+        exp_id="Extension (Sec. VI)",
+        title="Across-wafer MCT equalization via per-field dose offsets "
+        "(AES-65)",
+        headers=[
+            "edge bias nm", "dies",
+            "spread before ps", "spread after ps",
+            "yield before %", "yield after %",
+        ],
+        rows=rows,
+    )
+
+
+def _check(table):
+    for row in table.rows:
+        _bias, _dies, sb, sa, yb, ya = row
+        assert sa < 0.5 * sb, "equalization must halve the MCT spread"
+        assert ya >= yb, "timing yield must not degrade"
+    # larger systematic bias -> larger uncorrected spread
+    spreads = table.column("spread before ps")
+    assert spreads == sorted(spreads)
+    # the worst-bias wafer still recovers to high yield
+    assert table.rows[-1][5] > 90.0
+
+
+def test_wafer_extension(benchmark, save_result):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(table, "extension_wafer")
+    _check(table)

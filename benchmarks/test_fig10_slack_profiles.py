@@ -1,0 +1,44 @@
+"""Fig. 10: slack profiles of AES-65 through the optimization stages.
+
+Reproduction targets: worst slack improves Orig -> DMopt -> dosePl; the
+Bias design (max dose on all top-K critical path gates) shows further
+headroom but at a dramatic leakage cost.
+"""
+
+import re
+
+from repro.experiments import fig10_slack_profiles
+
+
+def _worst_slacks(table):
+    note = next(n for n in table.notes if n.startswith("worst slack"))
+    vals = re.findall(r"([+-]\d+\.\d+)", note)
+    return tuple(float(v) for v in vals)  # orig, dmopt, dosepl, bias
+
+
+def _check(table):
+    orig, dmopt, dosepl, bias = _worst_slacks(table)
+    assert dmopt >= orig + 1e-6, "DMopt must improve the worst slack"
+    assert dosepl >= dmopt - 1e-9, "dosePl must not lose DMopt's gain"
+    assert bias >= dmopt - 1e-9, "max-dose bias bounds the achievable slack"
+
+    note = next(n for n in table.notes if "Bias leakage" in n)
+    bias_leak, base_leak = (
+        float(v) for v in re.findall(r"(\d+\.\d+) uW", note)
+    )
+    assert bias_leak > 1.05 * base_leak, "headroom must cost leakage"
+
+    totals = [
+        sum(table.column(c)) for c in ("Orig", "DMopt", "dosePl", "Bias")
+    ]
+    assert max(totals) - min(totals) < 0.6 * max(totals)
+
+
+def test_fig10(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: fig10_slack_profiles("AES-65", grid_size=5.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(table, "fig10_slack_profiles")
+    _check(table)

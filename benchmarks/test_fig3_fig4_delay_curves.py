@@ -1,0 +1,42 @@
+"""Fig. 3 / Fig. 4: inverter delay vs gate length and width.
+
+Checks the linearity properties the paper's problem formulation rests on.
+"""
+
+import numpy as np
+
+from repro.experiments import fig3_delay_vs_length, fig4_delay_vs_width
+
+
+def _linearity(xs, ys):
+    """Max |residual| of a linear fit, relative to the data swing."""
+    coeffs = np.polyfit(xs, ys, 1)
+    resid = np.asarray(ys) - np.polyval(coeffs, xs)
+    return float(np.max(np.abs(resid)) / (max(ys) - min(ys))), coeffs[0]
+
+
+def test_fig3_delay_vs_length(benchmark, save_result):
+    table = benchmark.pedantic(fig3_delay_vs_length, rounds=1, iterations=1)
+    save_result(table, "fig3_delay_vs_length")
+    for col in ("TPLH ns", "TPHL ns"):
+        rel_resid, slope = _linearity(table.column("L nm"), table.column(col))
+        assert slope > 0, "delay must increase with gate length"
+        assert rel_resid < 0.03, "paper: delay ~linear in L near nominal"
+
+
+def test_fig4_delay_vs_width(benchmark, save_result):
+    table = benchmark.pedantic(fig4_delay_vs_width, rounds=1, iterations=1)
+    save_result(table, "fig4_delay_vs_width")
+    for col in ("TPLH ns", "TPHL ns"):
+        rel_resid, slope = _linearity(table.column("dW nm"), table.column(col))
+        assert slope < 0, "delay must decrease as width grows"
+        assert rel_resid < 0.03, "paper: delay ~linear in dW"
+
+
+def test_fig3_90nm_variant(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: fig3_delay_vs_length("90nm"), rounds=1, iterations=1
+    )
+    save_result(table, "fig3_delay_vs_length_90nm")
+    ys = table.column("TPHL ns")
+    assert ys == sorted(ys)

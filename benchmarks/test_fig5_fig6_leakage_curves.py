@@ -1,0 +1,29 @@
+"""Fig. 5 / Fig. 6: inverter leakage vs gate length (exponential) and
+width (linear)."""
+
+import numpy as np
+
+from repro.experiments import fig5_leakage_vs_length, fig6_leakage_vs_width
+
+
+def test_fig5_leakage_vs_length(benchmark, save_result):
+    table = benchmark.pedantic(fig5_leakage_vs_length, rounds=1, iterations=1)
+    save_result(table, "fig5_leakage_vs_length")
+    lengths = np.array(table.column("L nm"))
+    leak = np.array(table.column("leakage uW"))
+    assert np.all(np.diff(leak) < 0), "longer gates must leak less"
+    # exponential: the ratio over the +/-10 nm window is large
+    assert leak[0] / leak[-1] > 3.0
+    # and convex (the paper approximates it as quadratic)
+    assert np.polyfit(lengths, leak, 2)[0] > 0
+
+
+def test_fig6_leakage_vs_width(benchmark, save_result):
+    table = benchmark.pedantic(fig6_leakage_vs_width, rounds=1, iterations=1)
+    save_result(table, "fig6_leakage_vs_width")
+    dws = np.array(table.column("dW nm"))
+    leak = np.array(table.column("leakage uW"))
+    coeffs = np.polyfit(dws, leak, 1)
+    resid = leak - np.polyval(coeffs, dws)
+    assert coeffs[0] > 0, "wider devices must leak more"
+    assert np.max(np.abs(resid)) < 1e-9 * max(leak), "exactly linear in dW"

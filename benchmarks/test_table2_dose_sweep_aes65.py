@@ -1,0 +1,50 @@
+"""Table II: uniform poly-layer dose sweep on AES-65.
+
+Reproduction targets (paper Table II):
+* more dose -> monotonically better MCT, monotonically worse leakage,
+* at +5 %: MCT improves ~10-13 %, leakage *increases* ~1.5-2.6x,
+* at -5 %: leakage improves ~30-40 %, MCT degrades ~9-12 %,
+* leakage cost grows super-linearly with dose (the "straightforward way
+  ... cannot obtain delay improvement without incurring leakage
+  increase" claim).
+"""
+
+from repro.experiments import paper_data, table2
+
+
+def _check(table):
+    doses = [float(d) for d in table.column("dose %")]
+    by_dose = dict(
+        zip(doses, zip(table.column("MCT imp %"), table.column("leak imp %")))
+    )
+
+    # monotone trends across the full sweep
+    mcts = table.column("MCT ns")
+    leaks = table.column("leakage uW")
+    assert all(b < a for a, b in zip(mcts, mcts[1:]))
+    assert all(b > a for a, b in zip(leaks, leaks[1:]))
+
+    # end-point magnitudes vs paper (generous bands: synthetic testcase)
+    mct_p5, leak_p5 = by_dose[5.0]
+    mct_m5, leak_m5 = by_dose[-5.0]
+    paper_p5 = paper_data.TABLE2_AES65[5.0]
+    paper_m5 = paper_data.TABLE2_AES65[-5.0]
+    assert 0.6 * paper_p5[0] <= mct_p5 <= 1.5 * paper_p5[0]
+    assert leak_p5 <= 0.5 * paper_p5[1]  # large leakage *increase*
+    assert 0.6 * paper_m5[1] <= leak_m5 <= 1.5 * paper_m5[1]
+    assert mct_m5 < -5.0  # substantial MCT degradation
+
+    # super-linear leakage cost: +5 % costs far more than 5x the +1 % cost
+    _, leak_p1 = by_dose[1.0]
+    assert leak_p5 < 5 * leak_p1 < 0
+
+    # no uniform dose improves both metrics
+    for d, (mi, li) in by_dose.items():
+        if d != 0.0:
+            assert not (mi > 0.1 and li > 0.1), f"free lunch at dose {d}"
+
+
+def test_table2(benchmark, save_result):
+    table = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_result(table, "table2_dose_sweep_aes65")
+    _check(table)

@@ -1,0 +1,76 @@
+"""Table IV: DMopt on the poly layer -- the paper's headline result.
+
+Reproduction targets:
+* QP rows: leakage reduced at (essentially) unchanged MCT,
+* QCP rows: MCT reduced at (essentially) unchanged leakage,
+* finer grids -> larger improvements,
+* the 90 nm AES (fewer cells per grid, no slack hill) improves more than
+  the 65 nm AES under the QCP.
+"""
+
+from repro.experiments import GRID_SIZES, table4
+
+DESIGNS = ("AES-65", "JPEG-65", "AES-90", "JPEG-90")
+
+
+def _rows_for(table, design):
+    return [r for r in table.rows if r[0] == design]
+
+
+def _check_qp_rows(table):
+    for design in DESIGNS:
+        for row in _rows_for(table, design):
+            qp_mct_imp, qp_leak_imp = row[3], row[5]
+            assert qp_leak_imp > -0.1, f"{design} {row[1]}: QP leakage worse"
+            assert qp_mct_imp > -0.3, f"{design} {row[1]}: QP degraded timing"
+
+
+def _check_qcp_rows(table):
+    for design in DESIGNS:
+        for row in _rows_for(table, design):
+            qcp_mct_imp, qcp_leak_imp = row[8], row[10]
+            assert qcp_mct_imp > 0.0, f"{design} {row[1]}: QCP no MCT gain"
+            assert qcp_leak_imp > -3.0, f"{design} {row[1]}: QCP leaked"
+
+
+def _check_grid_trends(table):
+    """Paper: 'the finer the rectangular grids, the greater the
+    improvement'."""
+    for design in DESIGNS:
+        rows = _rows_for(table, design)
+        qp_leak_imps = [r[5] for r in rows]  # ordered fine -> coarse
+        qcp_mct_imps = [r[8] for r in rows]
+        assert qp_leak_imps[0] >= qp_leak_imps[-1] - 0.5, design
+        assert qcp_mct_imps[0] >= qcp_mct_imps[-1] - 0.5, design
+
+
+def _check_magnitudes(table):
+    # 5x5 um QP leakage reduction is substantial everywhere (paper:
+    # 8.5-25 %)
+    for design in DESIGNS:
+        row = _rows_for(table, design)[0]
+        assert row[5] > 4.0, f"{design}: expected substantial leakage win"
+    # 5x5 um QCP MCT gains are substantial everywhere (paper: 1.9-8.2 %).
+    # NOTE: the paper's *cross-node* ordering (90 nm improves more than
+    # 65 nm) rests on its 65 nm testcases' extreme near-critical path
+    # "hill" (16.5 % of paths within 95 % of MCT), which our 1/7-scale
+    # synthetic analogues only partially reproduce -- see EXPERIMENTS.md.
+    for design in DESIGNS:
+        row = _rows_for(table, design)[0]
+        assert row[8] > 1.5, f"{design}: expected substantial QCP MCT win"
+    # grid size sets follow the paper (coarsest differs per node)
+    assert set(r[1] for r in _rows_for(table, "AES-65")) == {
+        f"{g:.0f}x{g:.0f}" for g in GRID_SIZES["65nm"]
+    }
+    assert set(r[1] for r in _rows_for(table, "JPEG-90")) == {
+        f"{g:.0f}x{g:.0f}" for g in GRID_SIZES["90nm"]
+    }
+
+
+def test_table4(benchmark, save_result):
+    table = benchmark.pedantic(table4, rounds=1, iterations=1)
+    save_result(table, "table4_dmopt_poly")
+    _check_qp_rows(table)
+    _check_qcp_rows(table)
+    _check_grid_trends(table)
+    _check_magnitudes(table)

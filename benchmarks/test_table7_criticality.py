@@ -1,0 +1,31 @@
+"""Table VII: timing-criticality concentration of the testcases.
+
+Reproduction targets (the orderings the paper's Section V argument
+rests on):
+* AES-65 has the densest near-critical 'hill',
+* the 65 nm AES beats its 90 nm sibling at the 80 % threshold,
+* JPEG-90 is the least critical design.
+"""
+
+from repro.experiments import table7
+
+
+def _row(table, design):
+    return next(r for r in table.rows if r[0] == design)
+
+
+def _check(table):
+    for other in ("JPEG-65", "AES-90", "JPEG-90"):
+        assert _row(table, "AES-65")[3] > _row(table, other)[3], other
+    assert _row(table, "AES-65")[3] > _row(table, "AES-90")[3]
+    jpeg90 = _row(table, "JPEG-90")
+    for design in ("AES-65", "AES-90"):
+        assert _row(table, design)[2] >= jpeg90[2], design
+    for row in table.rows:  # nested by construction
+        assert row[1] <= row[2] <= row[3], row[0]
+
+
+def test_table7(benchmark, save_result):
+    table = benchmark.pedantic(table7, rounds=1, iterations=1)
+    save_result(table, "table7_criticality")
+    _check(table)

@@ -1,0 +1,24 @@
+"""Table VIII: QCP dose-map optimization followed by dosePl cell swapping.
+
+Reproduction targets: dosePl adds incremental MCT improvement on top of
+the QCP result (paper: AES-65 1.607 -> 1.601 ns, JPEG-65 2.081 -> 1.847
+ns), never degrades it (accept/rollback), and leakage stays essentially
+unchanged.
+"""
+
+from repro.experiments import table8
+
+
+def _check(table):
+    for row in table.rows:
+        design, qcp_mct, dp_mct = row[0], row[2], row[4]
+        assert dp_mct <= qcp_mct + 1e-9, f"{design}: dosePl degraded MCT"
+        assert row[5] > 0.0, f"{design}: no end-to-end MCT gain"
+        qcp_leak, dp_leak = row[6], row[7]
+        assert dp_leak <= qcp_leak * 1.02, f"{design}: dosePl leaked"
+
+
+def test_table8(benchmark, save_result):
+    table = benchmark.pedantic(table8, rounds=1, iterations=1)
+    save_result(table, "table8_dosepl")
+    _check(table)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario: pushing a design into a faster frequency bin.
+
+A speed-binned part (think: a desktop CPU SKU) sells for more in the
+faster bin.  This example runs the paper's full co-optimization -- QCP
+dose-map optimization (minimize clock period, no leakage increase)
+followed by the dosePl cell-swapping placement pass -- on AES-90, and
+shows how much cycle-time headroom manufacturing-time dose control buys,
+what the theoretical headroom is (the Fig. 10 "Bias" bound), and what
+that bound would cost in leakage.
+
+Run:  python examples/frequency_binning.py
+"""
+
+from repro.core import (
+    DesignContext,
+    DoseplConfig,
+    bias_critical_paths,
+    optimize_dose_map,
+    run_dosepl,
+)
+
+ctx = DesignContext("AES-90")
+base_mct = ctx.baseline.mct
+base_leak = ctx.baseline_leakage
+print(f"design: {ctx.bundle.name}, {ctx.netlist.n_gates} gates")
+print(f"shipping bin today : {1e3 / base_mct:7.1f} MHz "
+      f"(MCT {base_mct:.3f} ns, leakage {base_leak:.1f} uW)\n")
+
+# stage 1: design-aware dose map (QCP)
+qcp = optimize_dose_map(ctx, grid_size=5.0, mode="qcp")
+print(f"after DMopt (QCP)  : {1e3 / qcp.mct:7.1f} MHz "
+      f"(MCT {qcp.mct:.3f} ns, {qcp.mct_improvement_pct:+.2f}%, "
+      f"leakage {qcp.leakage:.1f} uW)")
+
+# stage 2: dose-map-aware placement (cell swapping, Appendix Algorithm 1)
+dosepl = run_dosepl(
+    ctx, qcp.dose_map_poly, config=DoseplConfig(top_k=500, rounds=10)
+)
+total_imp = (base_mct - dosepl.mct) / base_mct * 100.0
+print(f"after dosePl       : {1e3 / dosepl.mct:7.1f} MHz "
+      f"(MCT {dosepl.mct:.3f} ns, {total_imp:+.2f}% vs baseline, "
+      f"{dosepl.swaps_accepted} swap rounds accepted)")
+
+# bound: max dose on every top-K critical-path gate (not manufacturable
+# as a smooth map, and the leakage bill is ruinous -- paper Fig. 10)
+bias_res, bias_leak, _ = bias_critical_paths(ctx, k=500)
+print(f"\ntheoretical bound  : {1e3 / bias_res.mct:7.1f} MHz "
+      f"(MCT {bias_res.mct:.3f} ns) -- but leakage {bias_leak:.1f} uW "
+      f"({(bias_leak - base_leak) / base_leak * 100:+.0f}%)")
+print("the co-optimization captures most of the headroom at ~zero "
+      "leakage cost.")

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Scenario: post-layout leakage recovery on a power-constrained design.
+
+A mobile-SoC-style flow: the JPEG-65 design meets timing but busts its
+leakage budget.  Instead of re-synthesizing with longer channel devices
+(a mask respin), we compute a manufacturing-time dose map (the paper's QP
+formulation) that lengthens non-critical gates via reduced exposure dose
+-- recovering leakage power with zero mask or netlist change -- and
+compare against the naive alternative of a uniform dose decrease, which
+would wreck timing (paper Tables II/III).
+
+Run:  python examples/leakage_recovery.py
+"""
+
+from repro.core import DesignContext, optimize_dose_map, uniform_dose_sweep
+
+ctx = DesignContext("JPEG-65")
+print(f"design: {ctx.bundle.name}, {ctx.netlist.n_gates} gates")
+print(f"baseline: MCT {ctx.baseline.mct:.3f} ns, "
+      f"leakage {ctx.baseline_leakage:.1f} uW\n")
+
+# --- naive knob: a chip-wide uniform dose decrease ---------------------
+print("uniform dose decrease (the naive knob):")
+for point in uniform_dose_sweep(ctx, doses=[-1.0, -2.0, -3.0]):
+    print(f"  dose {point.dose:+.0f}%: leakage "
+          f"{point.leakage_improvement_pct:+5.1f}%  BUT MCT "
+          f"{point.mct_improvement_pct:+5.1f}%  <- timing violated")
+
+# --- design-aware dose map (the paper's QP) ----------------------------
+print("\ndesign-aware dose map (QP: min leakage s.t. timing):")
+for grid in (30.0, 10.0, 5.0):
+    res = optimize_dose_map(ctx, grid_size=grid, mode="qp")
+    print(f"  {grid:4.0f} um grids: leakage "
+          f"{res.leakage_improvement_pct:+5.1f}%  at MCT "
+          f"{res.mct_improvement_pct:+5.2f}%  "
+          f"({res.formulation.partition.n_grids} dose variables, "
+          f"{res.runtime:.1f} s)")
+
+print("\nfiner dose grids recover more leakage -- with timing intact.")

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Scenario: across-wafer delay-variation minimization (future work of
+the paper, Section VI).
+
+A wafer's track/etcher signature prints center dies with near-nominal
+gates but edge dies several nm wide (slow).  This example builds a wafer
+map for the AES-65 product, shows the resulting MCT spread and timing
+yield across dies, then applies the per-field dose offset (the Dosicom
+"dose offset per field" actuator) to equalize die timing -- and finally
+uses a positive dose target to push the whole wafer into a faster bin,
+quantifying the leakage bill.
+
+Run:  python examples/wafer_binning.py
+"""
+
+from repro.core import DesignContext
+from repro.wafer import Wafer, equalize_wafer_timing
+
+ctx = DesignContext("AES-65")
+wafer = Wafer(radius_mm=140.0, die_w_mm=20.0, die_h_mm=20.0,
+              radial_cd_bias_nm=4.0)
+print(f"wafer: {wafer.n_dies} dies, edge CD bias "
+      f"+{wafer.radial_cd_bias_nm:.0f} nm (slow edge dies)\n")
+
+# --- delay-variation minimization (target: nominal printing) -----------
+res = equalize_wafer_timing(ctx, wafer, target_dose=0.0)
+target = ctx.baseline.mct * 1.01  # sell bin: within 1 % of nominal MCT
+print("equalize to nominal dose (delay-variation minimization):")
+print(f"  MCT spread : {res.spread_before * 1e3:6.1f} ps -> "
+      f"{res.spread_after * 1e3:6.1f} ps")
+print(f"  MCT sigma  : {res.sigma_before * 1e3:6.1f} ps -> "
+      f"{res.sigma_after * 1e3:6.1f} ps")
+print(f"  timing yield @ {target:.3f} ns: "
+      f"{res.timing_yield(target, after=False) * 100:5.1f}% -> "
+      f"{res.timing_yield(target) * 100:5.1f}%")
+print(f"  wafer leakage: {res.leakage_before / 1e3:.1f} mW -> "
+      f"{res.leakage_after / 1e3:.1f} mW")
+
+# --- speed binning: drive every die 2 % above nominal dose -------------
+res2 = equalize_wafer_timing(ctx, wafer, target_dose=2.0)
+print("\nbin the wafer faster (target dose +2 %):")
+print(f"  worst-die MCT: {res.mct_after.max():.3f} ns -> "
+      f"{res2.mct_after.max():.3f} ns")
+print(f"  wafer leakage: {res.leakage_after / 1e3:.1f} mW -> "
+      f"{res2.leakage_after / 1e3:.1f} mW "
+      f"({(res2.leakage_after / res.leakage_after - 1) * 100:+.0f}%)")
+print("\nper-field dose offsets are a free knob for timing yield; "
+      "speed binning costs leakage, exactly as on-die (Tables II/III).")

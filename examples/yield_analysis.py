@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: parametric timing-yield signoff of a dose-map decision.
+
+The paper's title promises *timing yield enhancement*; this example
+quantifies it explicitly.  Under a within-die CD variation model (random
+per-gate + spatially correlated components), it compares the yield curve
+P(MCT <= T) of the baseline AES-65 against the QCP-optimized dose map,
+using both the vectorized Monte Carlo engine and the analytic SSTA
+(canonical first-order) engine -- and reports the sell-bin uplift at the
+nominal clock target.
+
+Run:  python examples/yield_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import DesignContext, optimize_dose_map
+from repro.variation import (
+    SSTA,
+    TimingMonteCarlo,
+    VariationModel,
+    ssta_timing_yield,
+    timing_yield,
+)
+
+ctx = DesignContext("AES-65")
+result = optimize_dose_map(ctx, grid_size=5.0, mode="qcp")
+print(f"design {ctx.bundle.name}: baseline MCT {ctx.baseline.mct:.3f} ns, "
+      f"QCP MCT {result.mct:.3f} ns ({result.mct_improvement_pct:+.1f}%)\n")
+
+model = VariationModel(sigma_random_nm=1.0, sigma_systematic_nm=1.0,
+                       correlation_grid_um=20.0, seed=17)
+mc = TimingMonteCarlo(ctx)
+dl = mc.sample_dl(model, 2000)
+mct_base = mc.mct_samples(dl)
+mct_opt = mc.mct_samples(dl, dose_map=result.dose_map_poly)
+
+# yield curves over candidate clock periods
+periods = np.linspace(mct_opt.min(), mct_base.max(), 9)
+print(f"{'T (ns)':>8}  {'yield base':>10}  {'yield DMopt':>11}")
+for t in periods:
+    print(f"{t:8.3f}  {timing_yield(mct_base, t):10.3f}  "
+          f"{timing_yield(mct_opt, t):11.3f}")
+
+target = ctx.baseline.mct
+print(f"\nat the nominal target T = {target:.3f} ns:")
+print(f"  Monte Carlo ({len(dl)} chips): "
+      f"{timing_yield(mct_base, target) * 100:5.1f}% -> "
+      f"{timing_yield(mct_opt, target) * 100:5.1f}%")
+
+# analytic cross-check (Clark-max canonical SSTA)
+ssta = SSTA(ctx, model)
+base_rv = ssta.analyze()
+opt_rv = ssta.analyze(dose_map=result.dose_map_poly)
+print(f"  SSTA (analytic)        : "
+      f"{ssta_timing_yield(base_rv, target) * 100:5.1f}% -> "
+      f"{ssta_timing_yield(opt_rv, target) * 100:5.1f}%")
+print(f"  SSTA MCT distribution  : baseline N({base_rv.mean:.3f}, "
+      f"{base_rv.sigma:.3f}), optimized N({opt_rv.mean:.3f}, "
+      f"{opt_rv.sigma:.3f}) ns")

@@ -1,0 +1,17 @@
+"""repro: Dose map and placement co-optimization for timing yield and leakage.
+
+A from-scratch Python reproduction of Jeong, Kahng, Park, Yao,
+"Dose Map and Placement Co-Optimization for Improved Timing Yield and
+Leakage Power" (DAC 2008 / IEEE TCAD 2010).
+
+Public entry points:
+
+* :class:`repro.library.CellLibrary` -- technology + characterized cells,
+* :mod:`repro.netlist.designs` -- the AES/JPEG-like benchmark designs,
+* :class:`repro.core.model.DesignContext` -- an analyzed placed design,
+* :func:`repro.core.dmopt.optimize_dose_map` -- the paper's DMopt (QP/QCP),
+* :func:`repro.core.dosepl.run_dosepl` -- the dose-map-aware placement pass,
+* :mod:`repro.experiments` -- regeneration of every paper table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,37 @@
+"""Physical constants and unit conventions used throughout :mod:`repro`.
+
+Unit conventions (uniform across the whole library):
+
+============  ==========================
+Quantity      Unit
+============  ==========================
+time          nanoseconds (ns)
+distance      micrometers (um)
+CD / gate L   nanometers (nm)
+gate width    nanometers (nm)
+capacitance   femtofarads (fF)
+resistance    kilo-ohms (kOhm)  [kOhm * fF = ps = 1e-3 ns]
+power         microwatts (uW)
+voltage       volts (V)
+current       microamps (uA)
+dose change   percent (%) relative to nominal exposure energy
+============  ==========================
+"""
+
+# Boltzmann constant times unit charge: thermal voltage at temperature T (K)
+# vT = k*T/q; at 298.15 K (25 C, the paper's leakage simulation condition)
+THERMAL_VOLTAGE_25C = 0.02569  # volts
+
+#: Default dose sensitivity, nm of CD change per percent dose change.
+#: The paper assumes the "typical value of -2 nm/%" [van Schoot et al. 2002].
+DEFAULT_DOSE_SENSITIVITY = -2.0  # nm / %
+
+#: Default DoseMapper correction range, percent (paper: +/-5 %).
+DEFAULT_DOSE_RANGE = 5.0
+
+#: Default dose-map smoothness bound between adjacent grids, percent
+#: (paper experiments: delta = 2).
+DEFAULT_SMOOTHNESS = 2.0
+
+#: kOhm * fF product expressed in ns.
+KOHM_FF_TO_NS = 1e-3

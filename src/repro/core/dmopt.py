@@ -1,0 +1,220 @@
+"""DMopt: design-aware dose map optimization (the paper's core method).
+
+Two driver modes, matching Section III:
+
+* ``mode="qp"`` -- *minimize delta-leakage subject to a clock bound*
+  (Section III-A-1 / III-B-1): quadratic objective, all-linear
+  constraints, solved by :func:`repro.solver.qp.solve_qp`.
+* ``mode="qcp"`` -- *minimize clock period subject to a leakage budget*
+  (Section III-A-2 / III-B-2): linear objective plus the quadratic
+  delta-leakage constraint, solved by :func:`repro.solver.qcp.solve_qcp`.
+
+Both return golden-signoff numbers: the continuous dose solution is
+snapped to the characterized 0.5 %-step variant grid and re-evaluated
+with the full STA and the exact leakage model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
+from repro.core.formulate import Formulation, build_formulation
+from repro.core.snap import SNAP_CEIL, SNAP_NEAREST, snap_dose_map
+from repro.solver import (
+    METHOD_IPM,
+    SolveResult,
+    solve_qcp,
+    solve_qp,
+    solve_qp_ipm,
+)
+
+MODE_QP = "qp"
+MODE_QCP = "qcp"
+
+
+@dataclass
+class DMoptResult:
+    """Outcome of one dose-map optimization.
+
+    Golden numbers (``mct``, ``leakage``) come from signoff re-analysis
+    with snapped doses; ``predicted_*`` are the optimizer's own model
+    values at the continuous solution (useful to study approximation
+    error, e.g. the paper's Table V JPEG-65 anomaly).
+    """
+
+    mode: str
+    dose_map_poly: object
+    dose_map_active: object
+    mct: float
+    leakage: float
+    baseline_mct: float
+    baseline_leakage: float
+    predicted_T: float
+    predicted_delta_leakage: float
+    solve: SolveResult
+    formulation: Formulation
+    runtime: float
+
+    @property
+    def mct_improvement_pct(self) -> float:
+        return (self.baseline_mct - self.mct) / self.baseline_mct * 100.0
+
+    @property
+    def leakage_improvement_pct(self) -> float:
+        return (
+            (self.baseline_leakage - self.leakage) / self.baseline_leakage * 100.0
+        )
+
+    def __repr__(self):
+        return (
+            f"DMoptResult({self.mode}, MCT {self.baseline_mct:.3f}->"
+            f"{self.mct:.3f} ns ({self.mct_improvement_pct:+.2f}%), leakage "
+            f"{self.baseline_leakage:.1f}->{self.leakage:.1f} uW "
+            f"({self.leakage_improvement_pct:+.2f}%))"
+        )
+
+
+def optimize_dose_map(
+    ctx,
+    grid_size: float,
+    mode: str = MODE_QCP,
+    both_layers: bool = False,
+    dose_range: float = DEFAULT_DOSE_RANGE,
+    smoothness: float = DEFAULT_SMOOTHNESS,
+    seam_smoothness: bool = False,
+    timing_bound: float = None,
+    timing_guard: float = 0.005,
+    leakage_budget: float = 0.0,
+    leakage_guard: float = 0.01,
+    method: str = METHOD_IPM,
+    snap_mode: str = None,
+    qp_kwargs: dict = None,
+) -> DMoptResult:
+    """Run DMopt on a design context.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.model.DesignContext`.
+    grid_size:
+        Grid edge ``G`` in um.
+    mode:
+        ``"qp"`` (min leakage s.t. timing) or ``"qcp"`` (min T s.t.
+        leakage).
+    both_layers:
+        Optimize poly and active doses simultaneously (gate length and
+        width modulation).
+    timing_bound:
+        tau for QP mode; defaults to the design's baseline MCT tightened
+        by ``timing_guard`` ("improve leakage without degrading timing",
+        the Table IV/VI setting).
+    timing_guard:
+        Relative guard band subtracted from the default tau so that the
+        linear delay-fit error and dose snapping cannot push golden MCT
+        past the baseline.  Ignored when ``timing_bound`` is given.  On
+        coarse grids a forced speed-up can cost more leakage than the
+        dose map recovers; when golden signoff detects that, the QP is
+        re-solved once without the guard (signoff-driven iteration, in
+        the spirit of the paper's Fig. 7 loop).
+    leakage_budget:
+        xi for QCP mode: allowed *increase* in total leakage (uW);
+        defaults to 0 ("improve timing without leakage increase", the
+        Table IV/V setting).
+    leakage_guard:
+        Fraction of baseline leakage subtracted from the internal QCP
+        budget to absorb the quadratic leakage model's underestimation
+        of the true exponential (paper footnote 4) plus snap error, so
+        golden leakage lands at or under the requested budget.
+    method:
+        Inner solver backend: ``"ipm"`` (default; fast interior point)
+        or ``"admm"`` (the OSQP-style first-order method).
+    snap_mode:
+        How continuous doses are rounded to characterized variants.
+        Defaults per mode: ``"ceil"`` for QP (snapping can only speed
+        gates up, so the clock bound survives signoff) and ``"nearest"``
+        for QCP (minimum leakage-model error around the budget).
+    """
+    if mode not in (MODE_QP, MODE_QCP):
+        raise ValueError(f"mode must be 'qp' or 'qcp', got {mode!r}")
+    if snap_mode is None:
+        snap_mode = SNAP_CEIL if mode == MODE_QP else SNAP_NEAREST
+    t_start = time.perf_counter()
+    form = build_formulation(
+        ctx,
+        grid_size,
+        both_layers=both_layers,
+        dose_range=dose_range,
+        smoothness=smoothness,
+        seam_smoothness=seam_smoothness,
+    )
+    qp_kwargs = dict(qp_kwargs or {})
+
+    def _solve_and_sign_off(tau):
+        if mode == MODE_QP:
+            u = form.u.copy()
+            u[form.row_clock] = tau
+            qp_solver = solve_qp_ipm if method == METHOD_IPM else solve_qp
+            solve = qp_solver(
+                form.P_leak, form.q_leak, form.A, form.l, u, **qp_kwargs
+            )
+        else:
+            c = np.zeros(form.n_vars)
+            c[form.idx_T] = 1.0
+            budget = float(leakage_budget) - leakage_guard * ctx.baseline_leakage
+            solve = solve_qcp(
+                c,
+                form.A,
+                form.l,
+                form.u,
+                form.P_leak,
+                form.q_leak,
+                s=budget,
+                method=method,
+                qp_kwargs=qp_kwargs,
+            )
+        poly, active, t_pred = form.split(solve.x)
+        poly = snap_dose_map(poly, ctx.library, mode=snap_mode)
+        if active is not None:
+            active = snap_dose_map(active, ctx.library, mode=snap_mode)
+        golden, leak = ctx.golden_eval(poly, active)
+        return solve, poly, active, t_pred, golden, leak
+
+    if mode == MODE_QP and timing_bound is None:
+        tau = ctx.baseline.mct * (1.0 - timing_guard)
+    elif mode == MODE_QP:
+        tau = float(timing_bound)
+    else:
+        tau = None
+    solve, poly, active, t_pred, golden, leak = _solve_and_sign_off(tau)
+
+    if (
+        mode == MODE_QP
+        and timing_bound is None
+        and timing_guard > 0
+        and leak > ctx.baseline_leakage
+    ):
+        # golden signoff found the guard-forced speed-up costs more
+        # leakage than this grid granularity recovers: re-solve without
+        # the guard (tau = baseline MCT)
+        retry = _solve_and_sign_off(ctx.baseline.mct)
+        if retry[5] < leak:
+            solve, poly, active, t_pred, golden, leak = retry
+
+    return DMoptResult(
+        mode=mode,
+        dose_map_poly=poly,
+        dose_map_active=active,
+        mct=golden.mct,
+        leakage=leak,
+        baseline_mct=ctx.baseline.mct,
+        baseline_leakage=ctx.baseline_leakage,
+        predicted_T=t_pred,
+        predicted_delta_leakage=form.predicted_delta_leakage(solve.x),
+        solve=solve,
+        formulation=form,
+        runtime=time.perf_counter() - t_start,
+    )

@@ -1,0 +1,264 @@
+"""Sparse assembly of the paper's DMopt mathematical programs.
+
+Variable vector layout (n = number of gates, G = number of dose grids):
+
+    x = [ d^P_0 .. d^P_{G-1} | (d^A_0 .. d^A_{G-1}) | a_1 .. a_n | T ]
+
+with the active-layer block present only for both-layer optimization.
+
+Constraint blocks (paper equation numbers in parentheses):
+
+* dose correction range, poly (3) and active (8):        L <= d <= U
+* smoothness over 8-neighbor pairs, poly (4), active (9): |d_i - d_j| <= delta
+* arrival propagation (5)/(10):  a_r + wire(r,q) + t_q(d) <= a_q
+  with  t_q(d) = t_q0 + A_q Ds d^P_{g(q)} + B_q Ds d^A_{g(q)}
+* endpoints: a <= T for PO drivers, a + wire + setup <= T for FF D-pins
+* clock bound (6)/(11), QP only:  T <= tau
+
+Delta-leakage (2) appears as the QP objective or the QCP quadratic
+constraint:
+
+    sum_p  alpha_p Ds^2 (d^P)^2  +  beta_p Ds d^P  +  gamma_p Ds d^A
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.constants import (
+    DEFAULT_DOSE_RANGE,
+    DEFAULT_SMOOTHNESS,
+)
+from repro.dosemap import DoseMap, GridPartition, LAYER_ACTIVE, LAYER_POLY
+
+
+@dataclass
+class Formulation:
+    """Assembled matrices + variable bookkeeping for one DMopt instance.
+
+    ``P_leak``/``q_leak`` encode delta-leakage as (1/2) x'P x + q'x; the
+    same pair serves as QP objective or QCP constraint.  ``A, l, u`` hold
+    every linear constraint *except* the clock bound, whose row index is
+    ``row_clock`` (so the driver can set tau or drop it).
+    """
+
+    partition: GridPartition
+    both_layers: bool
+    n_gates: int
+    A: sp.csc_matrix
+    l: np.ndarray
+    u: np.ndarray
+    P_leak: sp.csc_matrix
+    q_leak: np.ndarray
+    idx_T: int
+    row_clock: int
+    gate_grid: dict
+    gate_order: list = field(repr=False, default_factory=list)
+
+    @property
+    def n_vars(self) -> int:
+        return self.idx_T + 1
+
+    @property
+    def n_dose_vars(self) -> int:
+        return self.partition.n_grids * (2 if self.both_layers else 1)
+
+    def split(self, x: np.ndarray):
+        """Split a solution vector into (poly map, active map, T)."""
+        g = self.partition.n_grids
+        poly = DoseMap(self.partition, LAYER_POLY).from_flat(x[:g])
+        active = None
+        if self.both_layers:
+            active = DoseMap(self.partition, LAYER_ACTIVE).from_flat(x[g : 2 * g])
+        return poly, active, float(x[self.idx_T])
+
+    def predicted_delta_leakage(self, x: np.ndarray) -> float:
+        """Model-predicted delta leakage (uW) at a solution point."""
+        return float(0.5 * x @ (self.P_leak @ x) + self.q_leak @ x)
+
+
+def build_formulation(
+    ctx,
+    grid_size: float,
+    both_layers: bool = False,
+    dose_range: float = DEFAULT_DOSE_RANGE,
+    smoothness: float = DEFAULT_SMOOTHNESS,
+    seam_smoothness: bool = False,
+) -> Formulation:
+    """Assemble the DMopt matrices for a design context.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.model.DesignContext`.
+    grid_size:
+        The paper's ``G`` in um (5, 10, 30, 50 in the experiments).
+    both_layers:
+        Include active-layer dose variables (gate width modulation).
+        Requires ``ctx.fit_width`` so B_p/gamma_p are fitted.
+    seam_smoothness:
+        Also bound the dose step across die-copy seams (opposite field
+        edges), so the per-die solution can be tiled over a multi-die
+        exposure field without violating the scanner's smoothness limit
+        (the paper's Section II-B multi-copy extension).
+    """
+    if both_layers and not ctx.fit_width:
+        raise ValueError(
+            "both-layer formulation needs a DesignContext with fit_width=True"
+        )
+    nl = ctx.netlist
+    lib = ctx.library
+    ds = lib.dose_sensitivity
+    place = ctx.placement
+    baseline = ctx.baseline
+
+    partition = GridPartition(place.die.width, place.die.height, grid_size)
+    g = partition.n_grids
+    gate_grid = partition.assign_gates(place)
+
+    gate_order = list(nl.gates)
+    gate_idx = {name: i for i, name in enumerate(gate_order)}
+    n = len(gate_order)
+    off_active = g if both_layers else 0
+    off_arr = g + off_active
+    idx_T = off_arr + n
+    n_vars = idx_T + 1
+
+    rows, cols, vals = [], [], []
+    lo, hi = [], []
+    r = 0
+
+    def add_row(entries, lb, ub):
+        nonlocal r
+        for c, v in entries:
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+        lo.append(lb)
+        hi.append(ub)
+        r += 1
+
+    # ---- (3)/(8) dose correction range
+    n_layers = 2 if both_layers else 1
+    for layer in range(n_layers):
+        for k in range(g):
+            add_row([(layer * g + k, 1.0)], -dose_range, dose_range)
+
+    # ---- (4)/(9) smoothness
+    for layer in range(n_layers):
+        for (i1, j1), (i2, j2) in partition.neighbor_pairs():
+            k1 = layer * g + partition.index_of(i1, j1)
+            k2 = layer * g + partition.index_of(i2, j2)
+            add_row([(k1, 1.0), (k2, -1.0)], -smoothness, smoothness)
+        if seam_smoothness:
+            # wrap-around pairs across die-copy seams, including the
+            # diagonal family of (4): in the tiled field, grid (i, n-1)
+            # of one copy neighbors (i, 0) and (i+1, 0) of the next
+            m_, n_ = partition.m, partition.n
+            seam_pairs = []
+            for i in range(m_):
+                seam_pairs.append(((i, n_ - 1), (i, 0)))
+                if i + 1 < m_:
+                    seam_pairs.append(((i, n_ - 1), (i + 1, 0)))
+            for j in range(n_):
+                seam_pairs.append(((m_ - 1, j), (0, j)))
+                if j + 1 < n_:
+                    seam_pairs.append(((m_ - 1, j), (0, j + 1)))
+            seam_pairs.append(((m_ - 1, n_ - 1), (0, 0)))
+            for (i1, j1), (i2, j2) in seam_pairs:
+                k1 = layer * g + partition.index_of(i1, j1)
+                k2 = layer * g + partition.index_of(i2, j2)
+                add_row([(k1, 1.0), (k2, -1.0)], -smoothness, smoothness)
+
+    # ---- (5)/(10) arrival propagation
+    is_seq = {
+        name: lib.cell(gate.master).is_sequential
+        for name, gate in nl.gates.items()
+    }
+    seen_arcs = set()
+    inf = np.inf
+    for name in gate_order:
+        gate = nl.gates[name]
+        q_i = off_arr + gate_idx[name]
+        fit = ctx.delay_fit_for(name)
+        t0 = baseline.gate_delay[name]
+        grid_k = gate_grid[name]
+        # delay terms: t_q(d) - t_q0 = A*Ds*dP (+ B*Ds*dA)
+        delay_terms = [(grid_k, fit.a * ds)]
+        if both_layers:
+            delay_terms.append((g + grid_k, fit.b * ds))
+
+        if is_seq[name]:
+            # launch: t_q(d) <= a_q   (a_source = 0)
+            add_row(delay_terms + [(q_i, -1.0)], -inf, -t0)
+            continue
+        has_pi = any(nl.nets[net].driver is None for net in gate.inputs)
+        if has_pi:
+            add_row(delay_terms + [(q_i, -1.0)], -inf, -t0)
+        for net_name in gate.inputs:
+            drv = nl.nets[net_name].driver
+            if drv is None:
+                continue
+            arc = (drv, name)
+            if arc in seen_arcs:
+                continue
+            seen_arcs.add(arc)
+            wire = baseline.wire_delay.get(arc, 0.0)
+            r_i = off_arr + gate_idx[drv]
+            # a_r - a_q + (t_q(d) - t_q0) <= -t_q0 - wire
+            add_row(
+                [(r_i, 1.0), (q_i, -1.0)] + delay_terms, -inf, -t0 - wire
+            )
+
+    # ---- endpoint constraints: a <= T (PO), a + wire + setup <= T (FF D)
+    for name in gate_order:
+        gate = nl.gates[name]
+        r_i = off_arr + gate_idx[name]
+        if nl.nets[gate.output].is_primary_output:
+            add_row([(r_i, 1.0), (idx_T, -1.0)], -inf, 0.0)
+        for succ in set(nl.fanout_gates(name)):
+            if not is_seq[succ]:
+                continue
+            wire = baseline.wire_delay.get((name, succ), 0.0)
+            setup = lib.cell(nl.gate(succ).master).setup_ns
+            add_row([(r_i, 1.0), (idx_T, -1.0)], -inf, -wire - setup)
+
+    # ---- clock bound row (caller sets tau via formulation.row_clock)
+    row_clock = r
+    add_row([(idx_T, 1.0)], -inf, inf)
+
+    A = sp.csc_matrix(
+        (vals, (rows, cols)), shape=(r, n_vars)
+    )
+    l = np.array(lo)
+    u = np.array(hi)
+
+    # ---- delta-leakage quadratic (2)
+    p_diag = np.zeros(n_vars)
+    q_lin = np.zeros(n_vars)
+    for name in gate_order:
+        lfit = ctx.leakage_fit_for(name)
+        k = gate_grid[name]
+        p_diag[k] += 2.0 * lfit.alpha * ds * ds  # (1/2) x'Px convention
+        q_lin[k] += lfit.beta * ds
+        if both_layers:
+            q_lin[g + k] += lfit.gamma * ds
+    P_leak = sp.diags(p_diag, format="csc")
+
+    return Formulation(
+        partition=partition,
+        both_layers=both_layers,
+        n_gates=n,
+        A=A,
+        l=l,
+        u=u,
+        P_leak=P_leak,
+        q_leak=q_lin,
+        idx_T=idx_T,
+        row_clock=row_clock,
+        gate_grid=gate_grid,
+        gate_order=gate_order,
+    )

@@ -1,0 +1,115 @@
+"""Design context: everything DMopt needs about one placed design.
+
+Bundles the netlist, library, placement, golden STA baseline, leakage
+baseline, and the delay/leakage coefficient fitters -- i.e. the "input"
+box of the paper's Fig. 8: original dose maps, characterized libraries,
+and the input slews / output capacitances of all cells.
+"""
+
+from __future__ import annotations
+
+from repro.fitting import DelayFitter, LeakageFitter
+from repro.netlist.designs import DesignBundle, make_design
+from repro.placement import place_design
+from repro.power import total_leakage
+from repro.sta import TimingAnalyzer
+
+
+class DesignContext:
+    """An analyzed, placed design ready for dose-map optimization.
+
+    Parameters
+    ----------
+    bundle:
+        A :class:`~repro.netlist.designs.DesignBundle` (or a design name,
+        which is generated on the fly).
+    placement:
+        Optional pre-made placement; by default the design is placed with
+        the standard placer.
+    fit_width:
+        When True, delay/leakage coefficients are fitted over the 2-D
+        (dL, dW) variant space (needed for both-layer optimization).
+    """
+
+    def __init__(self, bundle, placement=None, fit_width: bool = False,
+                 seed: int = 7):
+        if isinstance(bundle, str):
+            bundle = make_design(bundle)
+        if not isinstance(bundle, DesignBundle):
+            raise TypeError("bundle must be a DesignBundle or design name")
+        self.bundle = bundle
+        self.netlist = bundle.netlist
+        self.library = bundle.library
+        self.placement = placement if placement is not None else place_design(
+            bundle, seed=seed
+        )
+        self.analyzer = TimingAnalyzer(self.netlist, self.library, self.placement)
+        #: Golden STA at nominal dose.
+        self.baseline = self.analyzer.analyze()
+        #: Golden total leakage (uW) at nominal dose.
+        self.baseline_leakage = total_leakage(self.netlist, self.library)
+        self.delay_fitter = DelayFitter(self.library, fit_width=fit_width)
+        self.leakage_fitter = LeakageFitter(self.library, fit_width=fit_width)
+        self.fit_width = fit_width
+
+    # ------------------------------------------------------------------
+    def delay_fit_for(self, gate_name: str):
+        """A_p/B_p fit at the gate's analyzed (slew, load) operating point."""
+        master = self.netlist.gate(gate_name).master
+        return self.delay_fitter.fit_for(
+            master,
+            self.baseline.input_slew[gate_name],
+            self.baseline.load[gate_name],
+        )
+
+    def leakage_fit_for(self, gate_name: str):
+        """alpha/beta/gamma fit for the gate's master."""
+        return self.leakage_fitter.fit(self.netlist.gate(gate_name).master)
+
+    # ------------------------------------------------------------------
+    def gate_doses(self, dose_map_poly, dose_map_active=None, placement=None,
+                   snap: bool = True) -> dict:
+        """Per-gate (poly %, active %) dose dict from dose maps.
+
+        Doses are snapped to the characterized variant grid by default --
+        the paper's rounding step before golden signoff.
+        """
+        place = placement if placement is not None else self.placement
+        doses = {}
+        for name in self.netlist.gates:
+            dp = dose_map_poly.dose_of_gate(place, name) if dose_map_poly else 0.0
+            da = (
+                dose_map_active.dose_of_gate(place, name)
+                if dose_map_active is not None
+                else 0.0
+            )
+            if snap:
+                dp = self.library.snap_dose(dp)
+                da = self.library.snap_dose(da)
+            doses[name] = (dp, da)
+        return doses
+
+    def golden_eval(self, dose_map_poly, dose_map_active=None, placement=None,
+                    snap: bool = True):
+        """Golden (MCT, total leakage) under dose maps, after snapping.
+
+        Mirrors the paper's signoff: timing from the full STA with
+        dose-variant characterized cells, leakage from the exact
+        (exponential) device model -- *not* from the optimizer's local
+        linear/quadratic approximations.
+        """
+        doses = self.gate_doses(dose_map_poly, dose_map_active, placement, snap)
+        if placement is not None and placement is not self.placement:
+            analyzer = TimingAnalyzer(self.netlist, self.library, placement)
+        else:
+            analyzer = self.analyzer
+        result = analyzer.analyze(doses=doses)
+        leak = total_leakage(self.netlist, self.library, doses)
+        return result, leak
+
+    def __repr__(self):
+        return (
+            f"DesignContext({self.bundle.name!r}, "
+            f"MCT={self.baseline.mct:.3f} ns, "
+            f"leakage={self.baseline_leakage:.1f} uW)"
+        )

@@ -1,0 +1,93 @@
+"""Timing-leakage trade-off (Pareto) exploration.
+
+The paper's two formulations are dual views of one trade-off: QP walks it
+from the leakage side (fix timing, minimize leakage) and QCP from the
+timing side (fix leakage, minimize clock period).  This module sweeps the
+budgets to trace the achievable (MCT, leakage) frontier of a design under
+the equipment constraints -- the curve a designer would use to pick an
+operating point (e.g. "how much cycle time can 5 % more leakage buy?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dmopt import optimize_dose_map
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier point (golden-signoff values)."""
+
+    budget_pct: float
+    mct: float
+    leakage: float
+    mct_improvement_pct: float
+    leakage_improvement_pct: float
+
+
+def tradeoff_curve(
+    ctx,
+    grid_size: float,
+    budgets_pct=(-10.0, -5.0, 0.0, 5.0, 10.0, 20.0),
+    **dmopt_kwargs,
+) -> list:
+    """Trace the MCT-vs-leakage frontier by sweeping the QCP budget.
+
+    Parameters
+    ----------
+    budgets_pct:
+        Allowed leakage change as a percentage of baseline leakage;
+        negative values demand leakage *reduction* while still minimizing
+        the clock period.
+
+    Returns
+    -------
+    list of :class:`ParetoPoint`, in budget order.
+    """
+    points = []
+    for budget in budgets_pct:
+        res = optimize_dose_map(
+            ctx,
+            grid_size,
+            mode="qcp",
+            leakage_budget=budget / 100.0 * ctx.baseline_leakage,
+            **dmopt_kwargs,
+        )
+        points.append(
+            ParetoPoint(
+                budget_pct=float(budget),
+                mct=res.mct,
+                leakage=res.leakage,
+                mct_improvement_pct=res.mct_improvement_pct,
+                leakage_improvement_pct=res.leakage_improvement_pct,
+            )
+        )
+    return points
+
+
+def is_frontier_monotone(points, tol: float = 1e-3) -> bool:
+    """Whether looser leakage budgets never yield worse MCT (within tol).
+
+    A sanity property of a correct trade-off sweep: the feasible sets are
+    nested, so the optimal MCT is non-increasing in the budget.
+    """
+    mcts = [p.mct for p in points]
+    return all(b <= a + tol for a, b in zip(mcts, mcts[1:]))
+
+
+def knee_point(points) -> ParetoPoint:
+    """The frontier knee: maximum distance from the chord between the
+    endpoints (a standard operating-point heuristic)."""
+    if len(points) < 3:
+        raise ValueError("need at least three points to find a knee")
+    x = np.array([p.leakage for p in points])
+    y = np.array([p.mct for p in points])
+    x0, y0, x1, y1 = x[0], y[0], x[-1], y[-1]
+    span = np.hypot(x1 - x0, y1 - y0)
+    if span == 0:
+        return points[0]
+    dist = np.abs((x1 - x0) * (y0 - y) - (x0 - x) * (y1 - y0)) / span
+    return points[int(np.argmax(dist))]

@@ -1,0 +1,41 @@
+"""Dose map substrate: grid partition, dose maps, actuator profiles."""
+
+from repro.dosemap.aclv import (
+    aclv_nm,
+    optimize_cd_uniformity,
+    systematic_cd_error_map,
+)
+from repro.dosemap.dosemap import LAYER_ACTIVE, LAYER_POLY, DoseMap
+from repro.dosemap.exposure import (
+    printing_error,
+    quantize_scan,
+    simulate_exposure,
+    slit_convolve,
+)
+from repro.dosemap.grid import GridPartition
+from repro.dosemap.profiles import (
+    MAX_LEGENDRE_ORDER,
+    MAX_SLIT_ORDER,
+    fit_actuators,
+    legendre_scan_profile,
+    slit_profile,
+)
+
+__all__ = [
+    "GridPartition",
+    "DoseMap",
+    "optimize_cd_uniformity",
+    "systematic_cd_error_map",
+    "aclv_nm",
+    "simulate_exposure",
+    "slit_convolve",
+    "quantize_scan",
+    "printing_error",
+    "LAYER_POLY",
+    "LAYER_ACTIVE",
+    "legendre_scan_profile",
+    "slit_profile",
+    "fit_actuators",
+    "MAX_LEGENDRE_ORDER",
+    "MAX_SLIT_ORDER",
+]

@@ -1,0 +1,116 @@
+"""DoseMapper actuator profiles: Unicom-XL (slit) and Dosicom (scan).
+
+The physical scanner does not realize an arbitrary per-grid dose map
+directly; it composes a **slit-direction profile** (Unicom-XL: a variable
+gray filter, polynomial up to 6th order in x) with a **scan-direction
+profile** (Dosicom: pulse-energy modulation along y, represented as a sum
+of up to eight Legendre polynomials -- the paper's equation (1)):
+
+    D_set(y) = sum_{n=1..8} L_n P_n(y),   |y| <= 1.
+
+This module evaluates those profiles and least-squares-projects an
+optimized grid dose map onto the separable actuator basis
+``slit(x) + scan(y)``, reporting the projection residual.  (The per-grid
+constraints (3)-(4) of the optimization are the paper's own feasibility
+abstraction; the projection quantifies how much of a solution the real
+actuators can realize.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+#: Maximum Legendre order supported by the dose recipe (paper: 8).
+MAX_LEGENDRE_ORDER = 8
+#: Maximum slit polynomial order (paper: 6, on machines with Unicom XL).
+MAX_SLIT_ORDER = 6
+
+
+def legendre_scan_profile(coeffs, y) -> np.ndarray:
+    """Evaluate the Dosicom dose set D_set(y) = sum L_n P_n(y).
+
+    Parameters
+    ----------
+    coeffs:
+        Legendre coefficients L_1..L_k (k <= 8); note the paper's sum
+        starts at n = 1, so there is no constant term.
+    y:
+        Normalized scan positions in [-1, 1].
+    """
+    coeffs = np.asarray(coeffs, dtype=float)
+    if coeffs.size > MAX_LEGENDRE_ORDER:
+        raise ValueError(
+            f"at most {MAX_LEGENDRE_ORDER} Legendre coefficients supported"
+        )
+    y = np.asarray(y, dtype=float)
+    if np.any(np.abs(y) > 1 + 1e-12):
+        raise ValueError("scan positions must satisfy |y| <= 1")
+    full = np.concatenate([[0.0], coeffs])  # n starts at 1
+    return npleg.legval(y, full)
+
+
+def slit_profile(coeffs, x) -> np.ndarray:
+    """Evaluate the Unicom-XL slit profile: plain polynomial in x.
+
+    ``coeffs`` are ordered from the constant term upward (order <= 6).
+    The default production filter is 2nd order (quadratic), per ASML
+    guidance quoted in the paper.
+    """
+    coeffs = np.asarray(coeffs, dtype=float)
+    if coeffs.size > MAX_SLIT_ORDER + 1:
+        raise ValueError(f"slit polynomial order is limited to {MAX_SLIT_ORDER}")
+    x = np.asarray(x, dtype=float)
+    if np.any(np.abs(x) > 1 + 1e-12):
+        raise ValueError("slit positions must satisfy |x| <= 1")
+    return np.polynomial.polynomial.polyval(x, coeffs)
+
+
+def fit_actuators(
+    dose_values: np.ndarray,
+    slit_order: int = 2,
+    scan_order: int = MAX_LEGENDRE_ORDER,
+):
+    """Project a grid dose map onto the separable actuator basis.
+
+    Finds slit polynomial coefficients ``s`` (order ``slit_order``) and
+    Legendre scan coefficients ``L_1..L_{scan_order}`` minimizing
+
+        || dose[i, j] - slit(x_j) - scan(y_i) ||_2
+
+    over the grid centers mapped to [-1, 1].
+
+    Returns
+    -------
+    (slit_coeffs, scan_coeffs, realized, rms_residual):
+        ``realized`` is the separable approximation evaluated on the grid;
+        ``rms_residual`` the root-mean-square dose error (%).
+    """
+    if slit_order < 0 or slit_order > MAX_SLIT_ORDER:
+        raise ValueError(f"slit_order must be in [0, {MAX_SLIT_ORDER}]")
+    if scan_order < 1 or scan_order > MAX_LEGENDRE_ORDER:
+        raise ValueError(f"scan_order must be in [1, {MAX_LEGENDRE_ORDER}]")
+    vals = np.asarray(dose_values, dtype=float)
+    if vals.ndim != 2:
+        raise ValueError("dose_values must be a 2-D grid")
+    m, n = vals.shape
+    x = np.linspace(-1, 1, n) if n > 1 else np.zeros(1)
+    y = np.linspace(-1, 1, m) if m > 1 else np.zeros(1)
+
+    # Design matrix: [x^0..x^slit_order | P_1(y)..P_k(y)] per grid cell.
+    cols = []
+    xx = np.tile(x, m)
+    yy = np.repeat(y, n)
+    for p in range(slit_order + 1):
+        cols.append(xx**p)
+    for k in range(1, scan_order + 1):
+        basis = np.zeros(k + 1)
+        basis[k] = 1.0
+        cols.append(npleg.legval(yy, basis))
+    design = np.stack(cols, axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, vals.reshape(-1), rcond=None)
+    slit_coeffs = coeffs[: slit_order + 1]
+    scan_coeffs = coeffs[slit_order + 1 :]
+    realized = (design @ coeffs).reshape(m, n)
+    rms = float(np.sqrt(np.mean((realized - vals) ** 2)))
+    return slit_coeffs, scan_coeffs, realized, rms

@@ -1,0 +1,93 @@
+"""Regenerate every paper table/figure from the command line.
+
+Usage::
+
+    python -m repro.experiments                # everything (takes a while)
+    python -m repro.experiments table2 table7  # a subset
+    python -m repro.experiments --list         # show available experiments
+
+Results are printed and saved under ``benchmarks/results/`` so the
+benchmark suite and EXPERIMENTS.md share one source of truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    fig1_dose_profiles,
+    fig2_dose_sensitivity,
+    fig3_delay_vs_length,
+    fig4_delay_vs_width,
+    fig5_leakage_vs_length,
+    fig6_leakage_vs_width,
+    fig10_slack_profiles,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_dose_profiles,
+    "fig2": fig2_dose_sensitivity,
+    "fig3": fig3_delay_vs_length,
+    "fig4": fig4_delay_vs_width,
+    "fig5": fig5_leakage_vs_length,
+    "fig6": fig6_leakage_vs_width,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "fig10": fig10_slack_profiles,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="output directory for the formatted tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; try --list")
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        t0 = time.perf_counter()
+        table = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        print(table.format())
+        print(f"[{name}: {elapsed:.1f} s]")
+        print()
+        (out_dir / f"{name}.txt").write_text(table.format() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

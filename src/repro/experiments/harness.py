@@ -1,0 +1,73 @@
+"""Experiment harness: table containers, formatting, paper comparison.
+
+Every paper table/figure has a generator in :mod:`repro.experiments.tables`
+or :mod:`repro.experiments.figures` returning a :class:`TableResult` whose
+rows can be printed, asserted on in benchmarks, and diffed against the
+paper's published numbers in :data:`repro.experiments.paper_data`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableResult:
+    """One regenerated table or figure data series.
+
+    Attributes
+    ----------
+    exp_id:
+        Paper label, e.g. ``"Table II"`` or ``"Fig. 10"``.
+    title:
+        Human-readable description.
+    headers:
+        Column names.
+    rows:
+        List of row lists (mixed str/float entries).
+    notes:
+        Free-form commentary (e.g. observed-vs-paper trend statements).
+    """
+
+    exp_id: str
+    title: str
+    headers: list
+    rows: list
+    notes: list = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        """All values of one named column."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.headers}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        """Fixed-width text rendering."""
+
+        def fmt(v):
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        table = [self.headers] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(row[i])) for row in table)
+            for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table[1:]:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.format()

@@ -1,0 +1,64 @@
+"""Published numbers from the paper, for paper-vs-measured comparison.
+
+Values transcribed from the TCAD 2010 journal version (Tables II-VIII).
+They are *reference shapes*, not absolute targets: our testcases are
+synthetic analogues of the proprietary designs, so only relative trends
+(signs, orderings, rough factors) are expected to match.
+"""
+
+# Table II: AES-65 uniform poly dose sweep, improvement percentages
+# dose -> (MCT improvement %, leakage improvement %)
+TABLE2_AES65 = {
+    -5.0: (-11.36, 37.59), -4.0: (-9.04, 33.06), -3.0: (-6.84, 27.50),
+    -2.0: (-4.70, 20.33), -1.0: (-2.38, 11.23), 0.0: (0.0, 0.0),
+    1.0: (2.26, -14.60), 2.0: (4.95, -34.02), 3.0: (7.39, -61.21),
+    4.0: (10.01, -99.44), 5.0: (12.88, -154.96),
+}
+
+# Table III: AES-90 uniform poly dose sweep
+TABLE3_AES90 = {
+    -5.0: (-9.949, 30.056), -4.0: (-8.283, 26.075), -3.0: (-6.296, 21.222),
+    -2.0: (-4.401, 15.462), -1.0: (-2.076, 8.439), 0.0: (0.0, 0.0),
+    1.0: (2.029, -10.200), 2.0: (4.257, -23.239), 3.0: (6.161, -40.072),
+    4.0: (8.652, -62.115), 5.0: (11.661, -90.067),
+}
+
+# Table IV: DMopt poly layer, 5x5 um grids, improvement percentages
+# design -> {"qp": (mct imp %, leak imp %), "qcp": (mct imp %, leak imp %)}
+TABLE4_5UM = {
+    "AES-65": {"qp": (0.44, 8.54), "qcp": (1.89, 1.49)},
+    "JPEG-65": {"qp": (0.25, 20.67), "qcp": (4.52, -0.23)},
+    "AES-90": {"qp": (0.75, 24.98), "qcp": (6.47, 1.82)},
+    "JPEG-90": {"qp": (0.41, 21.40), "qcp": (8.23, 2.52)},
+}
+
+# Table IV trend: leakage improvement under QP by grid size (AES-65)
+TABLE4_AES65_QP_LEAK_BY_GRID = {5.0: 8.54, 10.0: 3.05, 30.0: 0.01}
+
+# Table V: QCP on both layers, 5x5 um grids (65 nm designs)
+# design -> (poly-only MCT imp %, both-layer MCT imp %)
+TABLE5_5UM = {"AES-65": (1.89, 3.17), "JPEG-65": (4.52, 4.10)}
+
+# Table VI: QP on both layers, 5x5 um grids (65 nm designs)
+# design -> (poly-only leak imp %, both-layer leak imp %)
+TABLE6_5UM = {"AES-65": (8.54, 14.33), "JPEG-65": (20.67, 21.07)}
+
+# Table VII: percentage of critical paths within timing ranges
+# design -> (95-100 % MCT, 90-100 %, 80-100 %)
+TABLE7 = {
+    "AES-65": (16.54, 28.98, 41.98),
+    "JPEG-65": (4.80, 9.89, 30.23),
+    "AES-90": (0.91, 4.54, 22.84),
+    "JPEG-90": (0.12, 0.35, 3.92),
+}
+
+# Table VIII: QCP followed by dosePl, 5x5 um grids
+# design -> (nominal MCT, after-QCP MCT, after-dosePl MCT) in ns
+TABLE8 = {
+    "AES-65": (1.638, 1.607, 1.601),
+    "JPEG-65": (2.179, 2.081, 1.847),
+}
+
+# Section V text: max sum-of-squared residuals of the delay curve fits
+FIT_SSR_POLY_ONLY = 0.0005
+FIT_SSR_BOTH_LAYERS = 0.0101

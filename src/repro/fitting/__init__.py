@@ -1,0 +1,6 @@
+"""Coefficient fitting: A/B delay and alpha/beta/gamma leakage models."""
+
+from repro.fitting.delay_fit import DelayFit, DelayFitter
+from repro.fitting.leakage_fit import LeakageFit, LeakageFitter
+
+__all__ = ["DelayFit", "DelayFitter", "LeakageFit", "LeakageFitter"]

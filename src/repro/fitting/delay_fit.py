@@ -1,0 +1,123 @@
+"""Delay coefficient fitting: t(dL, dW) ~ t0 + A*dL + B*dW.
+
+The paper calibrates, per cell master and per (input slew, load
+capacitance) table entry, the linear coefficients ``A_p`` (delay vs gate
+length) and ``B_p`` (delay vs gate width) by least squares over the
+characterized library variants ("we perform curve fitting for cell delay
+versus gate length using the least square method", Section V; "different
+values of A_p and B_p are obtained from processing of Liberty nonlinear
+delay model tables", Section II-C).
+
+Coefficients are fitted at the characterized table entry **nearest** to
+each instance's analyzed (slew, load) operating point, per Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DelayFit:
+    """Linear delay model around nominal for one (master, slew, load).
+
+    ``delay(dl, dw) ~ t0 + a * dl + b * dw`` with dl/dw in nm, delay ns.
+
+    ``a`` corresponds to the paper's A_p (positive: longer gate, slower)
+    and ``b`` to B_p (negative: wider gate, faster).  ``ssr`` is the sum
+    of squared residuals of the fit -- the paper's fit-quality metric
+    (max SSR 0.0005 for poly-only vs 0.0101 for both layers).
+    """
+
+    t0: float
+    a: float
+    b: float
+    ssr: float
+
+    def predict(self, dl_nm: float, dw_nm: float = 0.0) -> float:
+        return self.t0 + self.a * dl_nm + self.b * dw_nm
+
+
+class DelayFitter:
+    """Fits and caches per-(master, table-entry) delay coefficients.
+
+    Parameters
+    ----------
+    library:
+        A :class:`~repro.library.CellLibrary`.
+    fit_width:
+        When True, fit over the 2-D (dL, dW) variant grid (both-layer
+        optimization); otherwise over dL only with b = 0 (poly-only).
+        The paper observes the 2-D fit has ~20x worse residuals, which
+        propagates into slightly worse both-layer optimization results
+        (Table V's JPEG-65 anomaly).
+    n_dose_samples:
+        Dose sample count per axis used for fitting (odd, includes 0).
+    """
+
+    def __init__(self, library, fit_width: bool = False, n_dose_samples: int = 5):
+        if n_dose_samples < 3:
+            raise ValueError("need at least 3 dose samples to fit a line")
+        self.library = library
+        self.fit_width = bool(fit_width)
+        self._doses = np.linspace(
+            -library.dose_range, library.dose_range, n_dose_samples
+        )
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def fit_at_entry(self, master_name: str, i_slew: int, j_load: int) -> DelayFit:
+        """Fit coefficients at one characterized table entry."""
+        key = (master_name, i_slew, j_load)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+
+        lib = self.library
+        nominal = lib.nominal(master_name)
+        slew = float(nominal.delay.slew_axis[i_slew])
+        load = float(nominal.delay.load_axis[j_load])
+
+        samples = []
+        for dp in self._doses:
+            dl = lib.dose_to_dl(dp)
+            if self.fit_width:
+                for da in self._doses:
+                    dw = lib.dose_to_dw(da)
+                    cc = lib.characterized(master_name, float(dp), float(da))
+                    samples.append((dl, dw, cc.delay_at(slew, load)))
+            else:
+                cc = lib.characterized(master_name, float(dp), 0.0)
+                samples.append((dl, 0.0, cc.delay_at(slew, load)))
+
+        dls = np.array([s[0] for s in samples])
+        dws = np.array([s[1] for s in samples])
+        vals = np.array([s[2] for s in samples])
+        if self.fit_width:
+            design = np.stack([np.ones_like(dls), dls, dws], axis=1)
+        else:
+            design = np.stack([np.ones_like(dls), dls], axis=1)
+        coeffs, *_ = np.linalg.lstsq(design, vals, rcond=None)
+        resid = vals - design @ coeffs
+        fit = DelayFit(
+            t0=float(coeffs[0]),
+            a=float(coeffs[1]),
+            b=float(coeffs[2]) if self.fit_width else 0.0,
+            ssr=float(np.sum(resid**2)),
+        )
+        self._cache[key] = fit
+        return fit
+
+    def fit_for(self, master_name: str, slew_ns: float, load_ff: float) -> DelayFit:
+        """Coefficients at the table entry nearest an operating point."""
+        table = self.library.nominal(master_name).delay
+        i, j = table.nearest_index(slew_ns, load_ff)
+        return self.fit_at_entry(master_name, i, j)
+
+    def max_ssr(self) -> float:
+        """Worst sum-of-squared-residuals across all fits done so far."""
+        if not self._cache:
+            return 0.0
+        return max(f.ssr for f in self._cache.values())

@@ -1,0 +1,99 @@
+"""DEF-like placement interchange.
+
+A minimal dialect of the LEF/DEF COMPONENTS section, enough to exchange
+placements with other tools and to checkpoint dosePl results:
+
+    DESIGN AES-65 ;
+    DIEAREA ( 0 0 ) ( 101000 99000 ) ;
+    ROWHEIGHT 1800 ;
+    SITEWIDTH 200 ;
+    COMPONENTS 2688 ;
+      - u1 NAND2X1 + PLACED ( 4600 0 ) ;
+      ...
+    END COMPONENTS
+
+Coordinates are in DEF database units (nm, i.e. um x 1000).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.placement.placement import Die, Placement
+
+_DBU = 1000.0  # database units per um
+
+
+class DefError(ValueError):
+    """Malformed DEF-like input."""
+
+
+def write_def(netlist, placement: Placement, design_name: str = None) -> str:
+    """Render a placement in the DEF-like dialect (returns the text)."""
+    die = placement.die
+    name = design_name or netlist.name
+    lines = [f"DESIGN {name} ;"]
+    lines.append(
+        f"DIEAREA ( 0 0 ) ( {int(die.width * _DBU)} {int(die.height * _DBU)} ) ;"
+    )
+    lines.append(f"ROWHEIGHT {int(die.row_height * _DBU)} ;")
+    lines.append(f"SITEWIDTH {int(die.site_width * _DBU)} ;")
+    placed = [g for g in netlist.gates if placement.is_placed(g)]
+    lines.append(f"COMPONENTS {len(placed)} ;")
+    for gate_name in placed:
+        x, y = placement.location(gate_name)
+        master = netlist.gate(gate_name).master
+        lines.append(
+            f"  - {gate_name} {master} + PLACED "
+            f"( {int(round(x * _DBU))} {int(round(y * _DBU))} ) ;"
+        )
+    lines.append("END COMPONENTS")
+    return "\n".join(lines) + "\n"
+
+
+_HEAD_RE = {
+    "design": re.compile(r"DESIGN\s+(\S+)\s*;"),
+    "diearea": re.compile(
+        r"DIEAREA\s*\(\s*0\s+0\s*\)\s*\(\s*(\d+)\s+(\d+)\s*\)\s*;"
+    ),
+    "rowheight": re.compile(r"ROWHEIGHT\s+(\d+)\s*;"),
+    "sitewidth": re.compile(r"SITEWIDTH\s+(\d+)\s*;"),
+}
+_COMP_RE = re.compile(
+    r"-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s*\(\s*(-?\d+)\s+(-?\d+)\s*\)\s*;"
+)
+
+
+def parse_def(text: str, netlist=None) -> Placement:
+    """Parse the DEF-like dialect back into a :class:`Placement`.
+
+    When ``netlist`` is given, component names and masters are checked
+    against it.
+    """
+    matches = {}
+    for key, rx in _HEAD_RE.items():
+        m = rx.search(text)
+        if not m:
+            raise DefError(f"missing {key.upper()} statement")
+        matches[key] = m
+    die = Die(
+        width=float(matches["diearea"].group(1)) / _DBU,
+        height=float(matches["diearea"].group(2)) / _DBU,
+        row_height=float(matches["rowheight"].group(1)) / _DBU,
+        site_width=float(matches["sitewidth"].group(1)) / _DBU,
+    )
+    placement = Placement(die)
+    for name, master, x, y in _COMP_RE.findall(text):
+        if netlist is not None:
+            gate = netlist.gates.get(name)
+            if gate is None:
+                raise DefError(f"component {name!r} not in netlist")
+            if gate.master != master:
+                raise DefError(
+                    f"component {name!r}: DEF master {master} != "
+                    f"netlist master {gate.master}"
+                )
+        placement.place(name, float(x) / _DBU, float(y) / _DBU)
+    if len(placement) == 0:
+        raise DefError("no placed components found")
+    return placement

@@ -1,0 +1,153 @@
+"""Liberty-like library interchange.
+
+Exports characterized cells in a Liberty-flavored text format (the
+``.lib`` structure signoff tools consume) and parses it back.  This is
+how the paper's flow would hand dose-variant libraries to PrimeTime /
+SOC Encounter: one library file per (poly dose, active dose) variant --
+"21 different characterized libraries ... corresponding to the 21
+different dose values" (Section V).
+
+Only the constructs our timer uses are emitted: per-cell leakage power,
+pin capacitance, setup time, and the NLDM ``cell_delay`` /
+``output_slew`` tables with their index vectors.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.library.characterize import CharacterizedCell
+from repro.library.nldm import NLDMTable
+
+
+class LibertyError(ValueError):
+    """Malformed Liberty-like input."""
+
+
+def _fmt_vector(values) -> str:
+    return ", ".join(f"{v:.6g}" for v in values)
+
+
+def _format_table(name: str, table: NLDMTable, indent: str) -> list:
+    lines = [f"{indent}{name} (delay_template) {{"]
+    lines.append(f'{indent}  index_1 ("{_fmt_vector(table.slew_axis)}");')
+    lines.append(f'{indent}  index_2 ("{_fmt_vector(table.load_axis)}");')
+    rows = ", \\\n".join(
+        f'{indent}    "{_fmt_vector(row)}"' for row in table.values
+    )
+    lines.append(f"{indent}  values ( \\\n{rows} );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def write_liberty(
+    library,
+    dose_poly: float = 0.0,
+    dose_active: float = 0.0,
+    masters=None,
+) -> str:
+    """Render one dose-variant library in Liberty-like text."""
+    tag = f"dp{dose_poly:+.1f}_da{dose_active:+.1f}".replace("+", "p").replace(
+        "-", "m"
+    ).replace(".", "_")
+    names = list(masters) if masters is not None else sorted(library.masters)
+    lines = [f"library (repro_{library.node.name}_{tag}) {{"]
+    lines.append('  time_unit : "1ns";')
+    lines.append('  capacitive_load_unit (1, "ff");')
+    lines.append('  leakage_power_unit : "1uW";')
+    lines.append(f"  /* dose variant: poly {dose_poly:+.2f}%, "
+                 f"active {dose_active:+.2f}% */")
+    for name in names:
+        cc = library.characterized(name, dose_poly, dose_active)
+        master = cc.master
+        lines.append(f"  cell ({name}) {{")
+        lines.append(f"    cell_leakage_power : {cc.leakage_uw:.6g};")
+        lines.append(f"    area : {master.width_sites};")
+        if master.is_sequential:
+            lines.append(f"    /* sequential, setup {cc.setup_ns:.4f} ns */")
+            lines.append(f"    setup_time : {cc.setup_ns:.6g};")
+        for pin_idx in range(master.n_inputs):
+            lines.append(f"    pin (IN{pin_idx}) {{")
+            lines.append("      direction : input;")
+            lines.append(f"      capacitance : {cc.input_cap_ff:.6g};")
+            lines.append("    }")
+        lines.append("    pin (OUT) {")
+        lines.append("      direction : output;")
+        lines.append("      timing () {")
+        lines.extend(_format_table("cell_delay", cc.delay, "        "))
+        lines.extend(_format_table("output_slew", cc.out_slew, "        "))
+        lines.append("      }")
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_CELL_RE = re.compile(r"cell\s*\(\s*(\w+)\s*\)\s*\{")
+_ATTR_RE = re.compile(r"(\w+)\s*:\s*([-\d.eE+]+)\s*;")
+_TABLE_RE = re.compile(
+    r"(cell_delay|output_slew)\s*\(\s*\w+\s*\)\s*\{(.*?)\n\s*\}",
+    re.S,
+)
+_INDEX_RE = re.compile(r'index_(\d)\s*\(\s*"([^"]*)"\s*\)\s*;')
+_VALUES_RE = re.compile(r"values\s*\((.*?)\)\s*;", re.S)
+
+
+def _parse_vector(text: str) -> np.ndarray:
+    return np.array([float(v) for v in text.replace("\\", " ").split(",")])
+
+
+def parse_liberty(text: str) -> dict:
+    """Parse a Liberty-like library back into plain data.
+
+    Returns
+    -------
+    dict
+        Mapping cell name -> dict with ``leakage_uw``, ``input_cap_ff``,
+        ``setup_ns`` (0.0 when absent), ``delay`` and ``out_slew``
+        :class:`NLDMTable` objects.
+    """
+    cells: dict = {}
+    spans = [(m.group(1), m.start()) for m in _CELL_RE.finditer(text)]
+    if not spans:
+        raise LibertyError("no cell groups found")
+    spans.append(("__end__", len(text)))
+    for (name, start), (_next, end) in zip(spans, spans[1:]):
+        chunk = text[start:end]
+        attrs = dict(_ATTR_RE.findall(chunk))
+        tables = {}
+        for kind, body in _TABLE_RE.findall(chunk):
+            idx = dict(_INDEX_RE.findall(body))
+            vm = _VALUES_RE.search(body)
+            if "1" not in idx or "2" not in idx or vm is None:
+                raise LibertyError(f"cell {name}: malformed {kind} table")
+            slew = _parse_vector(idx["1"])
+            load = _parse_vector(idx["2"])
+            flat = _parse_vector(
+                vm.group(1).replace('"', "").replace("\n", " ")
+            )
+            tables[kind] = NLDMTable(
+                slew, load, flat.reshape(slew.size, load.size)
+            )
+        if "cell_delay" not in tables or "output_slew" not in tables:
+            raise LibertyError(f"cell {name}: missing timing tables")
+        cells[name] = {
+            "leakage_uw": float(attrs.get("cell_leakage_power", 0.0)),
+            "input_cap_ff": float(attrs.get("capacitance", 0.0)),
+            "setup_ns": float(attrs.get("setup_time", 0.0)),
+            "delay": tables["cell_delay"],
+            "out_slew": tables["output_slew"],
+        }
+    return cells
+
+
+def roundtrip_close(cc: CharacterizedCell, parsed: dict, tol: float = 1e-5) -> bool:
+    """Whether a parsed cell matches a characterized cell numerically."""
+    return (
+        abs(parsed["leakage_uw"] - cc.leakage_uw) <= tol * max(cc.leakage_uw, 1)
+        and abs(parsed["input_cap_ff"] - cc.input_cap_ff) <= tol
+        and np.allclose(parsed["delay"].values, cc.delay.values, rtol=tol)
+        and np.allclose(parsed["out_slew"].values, cc.out_slew.values, rtol=tol)
+    )

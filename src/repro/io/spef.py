@@ -1,0 +1,83 @@
+"""SPEF-like parasitics interchange.
+
+The paper's flow consumes "extracted wiring parasitics" alongside the
+netlist (Section IV-A).  This module writes the design's wire parasitics
+-- per-net total capacitance and per-arc Elmore-style delays, as our
+timer models them -- in a SPEF-flavored text format, and parses it back.
+Useful for handing our extraction to another tool or for checkpointing
+post-route parasitics.
+
+Format (simplified SPEF):
+
+    *SPEF "repro simple"
+    *DESIGN AES-65
+    *C_UNIT 1 FF
+    *T_UNIT 1 NS
+    *D_NET n42 0.8125
+    *ARC u7 u13 0.00031
+    *END n42
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sta.wire import arc_wire_delay, net_wire_cap
+
+
+class SpefError(ValueError):
+    """Malformed SPEF-like input."""
+
+
+def write_spef(netlist, placement, node, net_lengths: dict = None) -> str:
+    """Extract and render parasitics for every net."""
+    lines = [
+        '*SPEF "repro simple"',
+        f"*DESIGN {netlist.name}",
+        "*C_UNIT 1 FF",
+        "*T_UNIT 1 NS",
+    ]
+    for net_name, net in netlist.nets.items():
+        length = net_lengths.get(net_name) if net_lengths else None
+        cap = net_wire_cap(netlist, placement, net_name, node, length_um=length)
+        lines.append(f"*D_NET {net_name} {cap:.6g}")
+        if net.driver is not None:
+            for sink, _pin in net.sinks:
+                # sink pin cap excluded here: SPEF carries wire RC only
+                delay = arc_wire_delay(
+                    netlist, placement, net.driver, sink, 0.0, node
+                )
+                lines.append(f"*ARC {net.driver} {sink} {delay:.6g}")
+        lines.append(f"*END {net_name}")
+    return "\n".join(lines) + "\n"
+
+
+_DNET_RE = re.compile(r"\*D_NET\s+(\S+)\s+([-\d.eE+]+)")
+_ARC_RE = re.compile(r"\*ARC\s+(\S+)\s+(\S+)\s+([-\d.eE+]+)")
+
+
+def parse_spef(text: str) -> dict:
+    """Parse the SPEF-like dialect.
+
+    Returns
+    -------
+    dict
+        ``{"design": str, "net_caps": {net: fF},
+        "arc_delays": {(driver, sink): ns}}``.
+    """
+    m = re.search(r"\*DESIGN\s+(\S+)", text)
+    if not m:
+        raise SpefError("missing *DESIGN header")
+    net_caps = {}
+    for net, cap in _DNET_RE.findall(text):
+        net_caps[net] = float(cap)
+    if not net_caps:
+        raise SpefError("no *D_NET records found")
+    arc_delays = {}
+    for drv, snk, d in _ARC_RE.findall(text):
+        arc_delays[(drv, snk)] = float(d)
+    return {
+        "design": m.group(1),
+        "net_caps": net_caps,
+        "arc_delays": arc_delays,
+    }

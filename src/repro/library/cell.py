@@ -1,0 +1,209 @@
+"""Standard-cell master definitions.
+
+A :class:`CellMaster` describes one library cell (e.g. ``NAND2X1``) in
+enough electrical detail for the analytical characterizer in
+:mod:`repro.library.characterize` to produce NLDM-style delay/slew tables
+and leakage numbers: per-network transistor widths, series-stack depths,
+number of internal stages, and footprint.
+
+The cell set mirrors the paper's production libraries: **36 combinational
+masters and 9 sequential masters** per node (Section II-C: "36 different
+65 nm standard cell masters ... 36 combinational cells and nine sequential
+cells").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellMaster:
+    """One standard-cell master.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2X1"``.
+    kind:
+        Logical function family, e.g. ``"NAND2"``.
+    drive:
+        Drive strength multiplier (1, 2, 4, 8).
+    n_inputs:
+        Number of data inputs (excludes clock for sequential cells).
+    w_n, w_p:
+        Effective NMOS / PMOS network widths in nm at this drive strength
+        (per-finger width times finger count).
+    stack_n, stack_p:
+        Worst-case series-stack depth of the pull-down / pull-up networks
+        (e.g. 2 for NAND2 pull-down).
+    stages:
+        Number of internal switching stages (1 for INV/NAND/NOR/AOI,
+        2 for BUF/AND/OR/XOR/MUX, 3 for flops' clk->q path).
+    is_sequential:
+        True for flip-flops and latches.
+    width_sites:
+        Cell footprint in placement sites.
+    leak_states:
+        Average-leakage derating across input states (1.0 = all devices
+        contribute their nominal off current; series stacks leak less).
+    intrinsic_ns:
+        Fixed intrinsic delay added per stage (wire/internal-node RC not
+        captured by the load-dependent term), in ns.
+    setup_ns, clk_q_extra_ns:
+        Sequential-only: setup time and extra clk->q latency.
+    """
+
+    name: str
+    kind: str
+    drive: int
+    n_inputs: int
+    w_n: float
+    w_p: float
+    stack_n: int
+    stack_p: int
+    stages: int
+    is_sequential: bool
+    width_sites: int
+    leak_states: float
+    intrinsic_ns: float = 0.002
+    setup_ns: float = 0.0
+    clk_q_extra_ns: float = 0.0
+
+    @property
+    def w_total(self) -> float:
+        """Total transistor width (nm) -- proxy for leakage footprint."""
+        return self.w_n + self.w_p
+
+    def __post_init__(self):
+        if self.drive < 1:
+            raise ValueError(f"{self.name}: drive must be >= 1")
+        if self.w_n <= 0 or self.w_p <= 0:
+            raise ValueError(f"{self.name}: transistor widths must be positive")
+        if self.stages < 1:
+            raise ValueError(f"{self.name}: stages must be >= 1")
+
+
+def _comb(
+    kind: str,
+    drive: int,
+    n_inputs: int,
+    stack_n: int,
+    stack_p: int,
+    stages: int,
+    unit_wn: float,
+    unit_wp: float,
+    base_sites: int,
+    leak_states: float,
+) -> CellMaster:
+    """Build one combinational master scaled by drive strength."""
+    return CellMaster(
+        name=f"{kind}X{drive}",
+        kind=kind,
+        drive=drive,
+        n_inputs=n_inputs,
+        # Series stacks are upsized so the stacked network drives like the
+        # unit inverter (standard logical-effort sizing).
+        w_n=unit_wn * drive * stack_n,
+        w_p=unit_wp * drive * stack_p,
+        stack_n=stack_n,
+        stack_p=stack_p,
+        stages=stages,
+        is_sequential=False,
+        width_sites=base_sites + drive - 1,
+        leak_states=leak_states,
+    )
+
+
+def _seq(
+    kind: str,
+    drive: int,
+    n_inputs: int,
+    unit_wn: float,
+    unit_wp: float,
+    base_sites: int,
+    setup_ns: float,
+    clk_q_extra_ns: float,
+) -> CellMaster:
+    """Build one sequential master scaled by drive strength."""
+    return CellMaster(
+        name=f"{kind}X{drive}",
+        kind=kind,
+        drive=drive,
+        n_inputs=n_inputs,
+        w_n=unit_wn * drive,
+        w_p=unit_wp * drive,
+        stack_n=2,
+        stack_p=2,
+        stages=3,
+        is_sequential=True,
+        width_sites=base_sites + 2 * (drive - 1),
+        leak_states=2.4,  # flops hold many devices; several leak paths
+        setup_ns=setup_ns,
+        clk_q_extra_ns=clk_q_extra_ns,
+    )
+
+
+def build_masters(unit_wn: float, unit_wp: float) -> dict:
+    """Construct the full master set for one node.
+
+    Parameters
+    ----------
+    unit_wn, unit_wp:
+        Unit (X1 inverter) NMOS and PMOS widths in nm for the node.
+
+    Returns
+    -------
+    dict
+        Mapping master name -> :class:`CellMaster`; exactly 36
+        combinational and 9 sequential masters.
+    """
+    masters = []
+
+    # --- combinational: kind, drives, n_in, stack_n, stack_p, stages, sites, leak
+    combo_spec = [
+        ("INV", (1, 2, 4, 8), 1, 1, 1, 1, 1, 1.00),
+        ("BUF", (1, 2, 4, 8), 1, 1, 1, 2, 2, 1.60),
+        ("NAND2", (1, 2, 4), 2, 2, 1, 1, 2, 0.75),
+        ("NAND3", (1, 2), 3, 3, 1, 1, 3, 0.65),
+        ("NAND4", (1,), 4, 4, 1, 1, 4, 0.60),
+        ("NOR2", (1, 2, 4), 2, 1, 2, 1, 2, 0.75),
+        ("NOR3", (1, 2), 3, 1, 3, 1, 3, 0.65),
+        ("NOR4", (1,), 4, 1, 4, 1, 4, 0.60),
+        ("AND2", (1, 2), 2, 2, 1, 2, 3, 1.40),
+        ("OR2", (1, 2), 2, 1, 2, 2, 3, 1.40),
+        ("XOR2", (1, 2), 2, 2, 2, 2, 4, 1.80),
+        ("XNOR2", (1,), 2, 2, 2, 2, 4, 1.80),
+        ("AOI21", (1, 2), 3, 2, 2, 1, 3, 0.70),
+        ("AOI22", (1,), 4, 2, 2, 1, 4, 0.70),
+        ("OAI21", (1, 2), 3, 2, 2, 1, 3, 0.70),
+        ("OAI22", (1,), 4, 2, 2, 1, 4, 0.70),
+        ("MUX2", (1, 2), 3, 2, 2, 2, 4, 1.70),
+        ("FA", (1,), 3, 2, 2, 2, 6, 2.20),
+    ]
+    for kind, drives, n_in, sn, sp, stages, sites, leak in combo_spec:
+        for drive in drives:
+            masters.append(
+                _comb(kind, drive, n_in, sn, sp, stages, unit_wn, unit_wp, sites, leak)
+            )
+
+    # --- sequential: kind, drives, n_in (data inputs), sites, setup, clkq-extra
+    seq_spec = [
+        ("DFF", (1, 2, 4), 1, 5, 0.045, 0.030),
+        ("DFFR", (1, 2), 2, 6, 0.050, 0.034),
+        ("DFFS", (1,), 2, 6, 0.050, 0.034),
+        ("SDFF", (1, 2), 3, 7, 0.055, 0.038),
+        ("LATCH", (1,), 1, 4, 0.030, 0.022),
+    ]
+    for kind, drives, n_in, sites, setup, clkq in seq_spec:
+        for drive in drives:
+            masters.append(
+                _seq(kind, drive, n_in, unit_wn, unit_wp, sites, setup, clkq)
+            )
+
+    result = {m.name: m for m in masters}
+    n_comb = sum(1 for m in result.values() if not m.is_sequential)
+    n_seq = sum(1 for m in result.values() if m.is_sequential)
+    assert n_comb == 36, f"expected 36 combinational masters, got {n_comb}"
+    assert n_seq == 9, f"expected 9 sequential masters, got {n_seq}"
+    return result

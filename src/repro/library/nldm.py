@@ -1,0 +1,96 @@
+"""Nonlinear delay model (NLDM) lookup tables.
+
+Liberty-style 2-D tables indexed by (input transition time, output load
+capacitance), with bilinear interpolation inside the characterized window
+and clamped extrapolation outside it -- the same access pattern a signoff
+timer uses, and the raw material the paper's coefficient fitting consumes
+("the coefficients of the delay functions may be calibrated for each entry
+in each delay table", Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NLDMTable:
+    """One 2-D lookup table: value = f(input slew, output load).
+
+    Attributes
+    ----------
+    slew_axis:
+        Strictly increasing input-transition axis (ns).
+    load_axis:
+        Strictly increasing output-load axis (fF).
+    values:
+        2-D array of shape ``(len(slew_axis), len(load_axis))``.
+    """
+
+    slew_axis: np.ndarray
+    load_axis: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        slew = np.asarray(self.slew_axis, dtype=float)
+        load = np.asarray(self.load_axis, dtype=float)
+        vals = np.asarray(self.values, dtype=float)
+        if vals.shape != (slew.size, load.size):
+            raise ValueError(
+                f"values shape {vals.shape} does not match axes "
+                f"({slew.size}, {load.size})"
+            )
+        if slew.size < 2 or load.size < 2:
+            raise ValueError("axes need at least two points each")
+        if np.any(np.diff(slew) <= 0) or np.any(np.diff(load) <= 0):
+            raise ValueError("axes must be strictly increasing")
+        object.__setattr__(self, "slew_axis", slew)
+        object.__setattr__(self, "load_axis", load)
+        object.__setattr__(self, "values", vals)
+
+    def lookup(self, slew_ns: float, load_ff: float) -> float:
+        """Bilinear interpolation, clamped to the table window."""
+        s = float(np.clip(slew_ns, self.slew_axis[0], self.slew_axis[-1]))
+        c = float(np.clip(load_ff, self.load_axis[0], self.load_axis[-1]))
+        i = int(np.searchsorted(self.slew_axis, s, side="right") - 1)
+        j = int(np.searchsorted(self.load_axis, c, side="right") - 1)
+        i = min(i, self.slew_axis.size - 2)
+        j = min(j, self.load_axis.size - 2)
+        s0, s1 = self.slew_axis[i], self.slew_axis[i + 1]
+        c0, c1 = self.load_axis[j], self.load_axis[j + 1]
+        fs = (s - s0) / (s1 - s0)
+        fc = (c - c0) / (c1 - c0)
+        v = self.values
+        return float(
+            v[i, j] * (1 - fs) * (1 - fc)
+            + v[i + 1, j] * fs * (1 - fc)
+            + v[i, j + 1] * (1 - fs) * fc
+            + v[i + 1, j + 1] * fs * fc
+        )
+
+    def nearest_index(self, slew_ns: float, load_ff: float) -> tuple:
+        """Index of the characterized entry nearest to (slew, load).
+
+        Used by the coefficient fitter: the paper applies "the
+        coefficients associated with the nearest entry" to each cell
+        instance.
+        """
+        i = int(np.argmin(np.abs(self.slew_axis - slew_ns)))
+        j = int(np.argmin(np.abs(self.load_axis - load_ff)))
+        return i, j
+
+
+def default_slew_axis() -> np.ndarray:
+    """Default characterization slew axis (ns), 7 points."""
+    return np.array([0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512])
+
+
+def default_load_axis(unit_cap_ff: float) -> np.ndarray:
+    """Default characterization load axis (fF), 7 points.
+
+    Scaled by ``unit_cap_ff`` (the input capacitance of the node's unit
+    inverter) so the table window covers fanouts of roughly 0.5x to 32x.
+    """
+    return unit_cap_ff * np.array([0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0])

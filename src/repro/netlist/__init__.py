@@ -1,0 +1,22 @@
+"""Netlist substrate: gate-level graph model and synthetic design generators."""
+
+from repro.netlist.designs import DesignBundle, design_names, make_design
+from repro.netlist.generators import (
+    generate_aes_like,
+    generate_jpeg_like,
+    resize_for_fanout,
+)
+from repro.netlist.netlist import Gate, Net, Netlist, NetlistError
+
+__all__ = [
+    "Gate",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "generate_aes_like",
+    "generate_jpeg_like",
+    "resize_for_fanout",
+    "DesignBundle",
+    "design_names",
+    "make_design",
+]

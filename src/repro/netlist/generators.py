@@ -1,0 +1,402 @@
+"""Synthetic gate-level design generators.
+
+The paper evaluates on four industrial placed-and-routed designs (AES and
+JPEG cores at 65 nm and 90 nm, Table I).  Those netlists are proprietary,
+so this module generates structurally similar synthetic designs:
+
+* :func:`generate_aes_like` -- a round-based cipher datapath: register
+  banks feeding parallel S-box-like logic clouds, MixColumns-like XOR
+  trees across lanes, and key-XOR layers.  Its parallel, equal-depth lanes
+  produce the dense near-critical slack "hill" the paper reports for the
+  65 nm AES (Table VII: 16.5 % of paths within 95 % of MCT).
+
+* :func:`generate_jpeg_like` -- a DCT/quantize pipeline: ripple-carry
+  adder chains of heterogeneous widths, quantizer logic clouds and
+  MUX-based zigzag reordering.  Path depths are spread out, giving the
+  flatter criticality profile of the paper's JPEG cores.
+
+A ``depth_jitter`` knob widens the per-lane depth distribution; the 90 nm
+design variants use larger jitter so that only a few paths dominate,
+matching Table VII's 90 nm rows.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+#: Combinational master kinds the random clouds draw from, with weights
+#: loosely matching synthesized-datapath cell mixes.
+_CLOUD_MIX = [
+    ("INV", 1, 0.14),
+    ("NAND2", 2, 0.22),
+    ("NOR2", 2, 0.16),
+    ("NAND3", 3, 0.08),
+    ("NOR3", 3, 0.05),
+    ("XOR2", 2, 0.12),
+    ("XNOR2", 2, 0.04),
+    ("AOI21", 3, 0.08),
+    ("OAI21", 3, 0.08),
+    ("MUX2", 3, 0.03),
+]
+
+
+class _Builder:
+    """Incremental netlist builder with fresh-name counters."""
+
+    def __init__(self, name: str, node_name: str, seed: int):
+        self.netlist = Netlist(name, node_name)
+        self.rng = np.random.default_rng(seed)
+        self._net_counter = 0
+        self._gate_counter = 0
+
+    def new_net(self, hint: str = "n") -> str:
+        self._net_counter += 1
+        return f"{hint}_{self._net_counter}"
+
+    def add(self, kind: str, inputs, hint: str = "g") -> str:
+        """Add an X1 gate of ``kind``; returns its output net name."""
+        self._gate_counter += 1
+        out = self.new_net(hint)
+        self.netlist.add_gate(
+            f"{hint}_{self._gate_counter}", f"{kind}X1", inputs, out
+        )
+        return out
+
+    def pick_inputs(self, pool, k: int):
+        """Draw k distinct nets from pool (with replacement if too small)."""
+        pool = list(pool)
+        if len(pool) >= k:
+            idx = self.rng.choice(len(pool), size=k, replace=False)
+        else:
+            idx = self.rng.choice(len(pool), size=k, replace=True)
+        return [pool[i] for i in idx]
+
+
+def _register_bank(b: _Builder, d_nets, hint: str):
+    """One DFF per data net; returns the Q net names."""
+    return [b.add("DFF", [d], hint=f"{hint}_ff") for d in d_nets]
+
+
+def _xor_tree(b: _Builder, nets, hint: str) -> str:
+    """Balanced XOR2 reduction tree over ``nets``; returns the root net."""
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.add("XOR2", [level[i], level[i + 1]], hint=f"{hint}_xt"))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _cloud_template(rng, n_inputs: int, depth: int, width: int):
+    """Random layered-logic *structure*: layers of (kind, input indices).
+
+    Separating structure from instantiation lets a caller stamp the same
+    cloud into many lanes (a repeated S-box), which is what creates the
+    near-critical path "hill" of the 65 nm testcases (paper Table VII).
+    """
+    kinds = [k for k, _n, _w in _CLOUD_MIX]
+    n_in = {k: n for k, n, _w in _CLOUD_MIX}
+    weights = np.array([w for _k, _n, w in _CLOUD_MIX])
+    weights = weights / weights.sum()
+
+    layers = []
+    prev2_size, prev_size = 0, n_inputs
+    for _layer in range(depth):
+        pool_size = prev_size + (max(1, prev2_size // 3) if prev2_size else 0)
+        gates = []
+        for _ in range(width):
+            kind = kinds[int(rng.choice(len(kinds), p=weights))]
+            k = n_in[kind]
+            if pool_size >= k:
+                idx = rng.choice(pool_size, size=k, replace=False)
+            else:
+                idx = rng.choice(pool_size, size=k, replace=True)
+            gates.append((kind, tuple(int(i) for i in idx)))
+        layers.append(gates)
+        prev2_size, prev_size = prev_size, width
+    return layers
+
+
+def _instantiate_cloud(b: _Builder, template, inputs, hint: str):
+    """Stamp a cloud template onto concrete input nets."""
+    prev2: list = []
+    prev = list(inputs)
+    for li, layer in enumerate(template):
+        pool = prev + (prev2[: max(1, len(prev2) // 3)] if prev2 else [])
+        outs = [
+            b.add(kind, [pool[i] for i in idx], hint=f"{hint}_l{li}")
+            for kind, idx in layer
+        ]
+        prev2 = prev
+        prev = outs
+    return prev
+
+
+def _logic_cloud(b: _Builder, inputs, depth: int, width: int, hint: str):
+    """Layered random logic cloud; returns the last layer's output nets."""
+    template = _cloud_template(b.rng, len(list(inputs)), depth, width)
+    return _instantiate_cloud(b, template, inputs, hint)
+
+
+def _adder_chain(b: _Builder, a_nets, b_nets, carry_in: str, hint: str):
+    """Ripple-carry full-adder chain; returns (sum nets, carry-out net).
+
+    The FA master has 3 inputs (a, b, cin) and one modeled output; the
+    carry is produced by a dedicated AOI21 so both sum and carry exist as
+    real nets (our masters are single-output).
+    """
+    sums = []
+    carry = carry_in
+    for i, (a, d) in enumerate(zip(a_nets, b_nets)):
+        s = b.add("FA", [a, d, carry], hint=f"{hint}_s{i}")
+        carry = b.add("AOI21", [a, d, carry], hint=f"{hint}_c{i}")
+        sums.append(s)
+    return sums, carry
+
+
+def _jitter(b: _Builder, base: int, jitter: float) -> int:
+    """Depth with multiplicative jitter, at least 1."""
+    if jitter <= 0:
+        return max(1, base)
+    factor = float(b.rng.uniform(1.0 - jitter, 1.0 + jitter))
+    return max(1, int(round(base * factor)))
+
+
+def generate_aes_like(
+    name: str = "AES",
+    node_name: str = "65nm",
+    n_lanes: int = 16,
+    bits_per_lane: int = 8,
+    n_rounds: int = 2,
+    sbox_depth: int = 9,
+    sbox_width: int = 8,
+    depth_jitter: float = 0.0,
+    seed: int = 1,
+) -> Netlist:
+    """Round-based cipher-like design (see module docstring).
+
+    Approximate gate count:
+    ``n_rounds * n_lanes * (bits + sbox_depth*sbox_width + ~2*bits)``.
+    """
+    b = _Builder(name, node_name, seed)
+    nl = b.netlist
+
+    # primary inputs: plaintext + key bits
+    state = []
+    for lane in range(n_lanes):
+        lane_bits = []
+        for bit in range(bits_per_lane):
+            pi = f"pt_{lane}_{bit}"
+            nl.add_primary_input(pi)
+            lane_bits.append(pi)
+        state.append(lane_bits)
+    key_bits = []
+    for k in range(n_lanes):
+        pi = f"key_{k}"
+        nl.add_primary_input(pi)
+        key_bits.append(pi)
+
+    group = 4  # MixColumns-like grouping of lanes
+    for rnd in range(n_rounds):
+        # input registers of the round
+        state = [
+            _register_bank(b, lane_bits, hint=f"r{rnd}_lane{i}")
+            for i, lane_bits in enumerate(state)
+        ]
+        # S-box clouds per lane: with zero jitter the *same* template is
+        # stamped into every lane (a repeated S-box macro), so lane paths
+        # have near-identical delays -- the 65 nm criticality hill.  With
+        # jitter, each lane gets its own template at a jittered depth.
+        shared = (
+            _cloud_template(b.rng, bits_per_lane, sbox_depth, sbox_width)
+            if depth_jitter <= 0
+            else None
+        )
+        state = [
+            _instantiate_cloud(
+                b,
+                shared
+                if shared is not None
+                else _cloud_template(
+                    b.rng,
+                    bits_per_lane,
+                    _jitter(b, sbox_depth, depth_jitter),
+                    sbox_width,
+                ),
+                lane_bits,
+                hint=f"r{rnd}_sbox{i}",
+            )[:bits_per_lane]
+            for i, lane_bits in enumerate(state)
+        ]
+        # pad lanes whose cloud produced fewer nets than bits_per_lane
+        state = [
+            lane_bits + lane_bits[: bits_per_lane - len(lane_bits)]
+            for lane_bits in state
+        ]
+        # MixColumns-like cross-lane XOR trees
+        mixed = []
+        for g0 in range(0, n_lanes - group + 1, group):
+            lanes = state[g0 : g0 + group]
+            new_lanes = []
+            for li in range(group):
+                bits = []
+                for bit in range(bits_per_lane):
+                    contrib = [lanes[(li + off) % group][bit] for off in range(3)]
+                    bits.append(_xor_tree(b, contrib, hint=f"r{rnd}_mix{g0+li}"))
+                new_lanes.append(bits)
+            mixed.extend(new_lanes)
+        mixed.extend(state[len(mixed) :])  # lanes outside full groups pass through
+        # AddRoundKey-like XOR with key bits
+        state = [
+            [
+                b.add("XOR2", [bit, key_bits[i % len(key_bits)]], hint=f"r{rnd}_ark")
+                for bit in lane_bits
+            ]
+            for i, lane_bits in enumerate(mixed)
+        ]
+
+    # output registers + primary outputs
+    state = [
+        _register_bank(b, lane_bits, hint=f"out_lane{i}")
+        for i, lane_bits in enumerate(state)
+    ]
+    for i, lane_bits in enumerate(state):
+        for j, net in enumerate(lane_bits):
+            po = b.add("BUF", [net], hint=f"po_{i}_{j}")
+            nl.add_primary_output(po)
+    return nl
+
+
+def generate_jpeg_like(
+    name: str = "JPEG",
+    node_name: str = "65nm",
+    n_channels: int = 12,
+    min_width: int = 4,
+    max_width: int = 12,
+    quant_depth: int = 7,
+    quant_width: int = 6,
+    n_stages: int = 3,
+    depth_jitter: float = 0.25,
+    seed: int = 2,
+) -> Netlist:
+    """DCT/quantize-like pipelined datapath (see module docstring).
+
+    Channel ``c`` carries an adder of width interpolated between
+    ``min_width`` and ``max_width`` -- the width spread is what produces
+    the heterogeneous path-depth profile of the JPEG testcases.
+    """
+    if max_width < min_width:
+        raise ValueError("max_width must be >= min_width")
+    b = _Builder(name, node_name, seed)
+    nl = b.netlist
+
+    widths = np.linspace(min_width, max_width, n_channels).round().astype(int)
+
+    channels = []
+    for c, w in enumerate(widths):
+        bits = []
+        for i in range(int(w)):
+            pi = f"pix_{c}_{i}"
+            nl.add_primary_input(pi)
+            bits.append(pi)
+        channels.append(bits)
+    zero = b.add("INV", [channels[0][0]], hint="zero")  # constant-ish carry-in
+
+    for stage in range(n_stages):
+        # stage registers
+        channels = [
+            _register_bank(b, bits, hint=f"s{stage}_ch{c}")
+            for c, bits in enumerate(channels)
+        ]
+        # butterfly: pair channels, add/sub via ripple chains
+        next_channels = []
+        for c in range(0, len(channels) - 1, 2):
+            a, d = channels[c], channels[c + 1]
+            n = min(len(a), len(d))
+            sums, cout = _adder_chain(b, a[:n], d[:n], zero, hint=f"s{stage}_add{c}")
+            next_channels.append(sums + [cout] + a[n:])
+            diff_bits = [
+                b.add("XNOR2", [x, y], hint=f"s{stage}_sub{c}")
+                for x, y in zip(a[:n], d[:n])
+            ]
+            next_channels.append(diff_bits + d[n:])
+        if len(channels) % 2:
+            next_channels.append(channels[-1])
+        channels = next_channels
+        # quantizer-ish cloud on each channel (jittered depth)
+        channels = [
+            _logic_cloud(
+                b,
+                bits,
+                depth=_jitter(b, quant_depth, depth_jitter),
+                width=max(quant_width, len(bits) // 2),
+                hint=f"s{stage}_q{c}",
+            )
+            for c, bits in enumerate(channels)
+        ]
+        # zigzag-like MUX shuffle between adjacent channels
+        shuffled = []
+        for c, bits in enumerate(channels):
+            other = channels[(c + 1) % len(channels)]
+            sel = bits[0]
+            shuffled.append(
+                [
+                    b.add(
+                        "MUX2",
+                        [bit, other[i % len(other)], sel],
+                        hint=f"s{stage}_zz{c}",
+                    )
+                    for i, bit in enumerate(bits)
+                ]
+            )
+        channels = shuffled
+
+    channels = [
+        _register_bank(b, bits, hint=f"out_ch{c}") for c, bits in enumerate(channels)
+    ]
+    for c, bits in enumerate(channels):
+        for i, net in enumerate(bits):
+            po = b.add("BUF", [net], hint=f"po_{c}_{i}")
+            nl.add_primary_output(po)
+    return nl
+
+
+def resize_for_fanout(netlist: Netlist, library) -> Netlist:
+    """Simple fanout-based sizing pass.
+
+    Rebuilds the netlist choosing, for each gate, the largest available
+    drive strength not exceeding what its fanout warrants (fanout <= 2 ->
+    X1, <= 5 -> X2, <= 10 -> X4, else X8).  Mirrors the sizing a synthesis
+    tool would have done, so high-fanout nets do not dominate timing for
+    the wrong reason.
+    """
+    available: dict = {}
+    for name, master in library.masters.items():
+        available.setdefault(master.kind, []).append(master.drive)
+    for kind in available:
+        available[kind].sort()
+
+    def pick_drive(kind: str, fanout: int) -> int:
+        want = 1 if fanout <= 2 else 2 if fanout <= 5 else 4 if fanout <= 10 else 8
+        drives = [d for d in available[kind] if d <= want]
+        return drives[-1] if drives else available[kind][0]
+
+    sized = Netlist(netlist.name, netlist.node_name)
+    for pi in netlist.primary_inputs:
+        sized.add_primary_input(pi)
+    for g in netlist.gates.values():
+        kind = library.cell(g.master).kind
+        fanout = netlist.nets[g.output].fanout
+        sized.add_gate(
+            g.name, f"{kind}X{pick_drive(kind, fanout)}", g.inputs, g.output
+        )
+    for po in netlist.primary_outputs:
+        sized.add_primary_output(po)
+    return sized

@@ -1,0 +1,26 @@
+"""Placement substrate: die/row model, placer, legalizer, HPWL."""
+
+from repro.placement.hpwl import incident_hpwl, incident_nets, net_hpwl, total_hpwl
+from repro.placement.legalize import (
+    LegalizationError,
+    has_overlaps,
+    legalize,
+    max_displacement,
+)
+from repro.placement.placement import Die, Placement
+from repro.placement.placer import place_design, serpentine_placement
+
+__all__ = [
+    "Die",
+    "Placement",
+    "net_hpwl",
+    "incident_nets",
+    "incident_hpwl",
+    "total_hpwl",
+    "legalize",
+    "max_displacement",
+    "has_overlaps",
+    "LegalizationError",
+    "place_design",
+    "serpentine_placement",
+]

@@ -1,0 +1,53 @@
+"""Half-perimeter wirelength (HPWL) estimation.
+
+HPWL is the standard placement wirelength proxy and the filter metric
+dosePl uses before attempting a swap (paper Appendix A: "HPWL-based wire
+length comparison ... only if the estimated wirelength increase for all
+incident nets is below a predefined threshold").
+"""
+
+from __future__ import annotations
+
+
+def net_hpwl(netlist, placement, net_name: str) -> float:
+    """HPWL (um) of one net over its placed driver and sink cells.
+
+    Primary I/O endpoints have no location and are ignored; a net with
+    fewer than two placed endpoints has zero HPWL.
+    """
+    net = netlist.net(net_name)
+    names = []
+    if net.driver is not None:
+        names.append(net.driver)
+    names.extend(sink for sink, _pin in net.sinks)
+    xs, ys = [], []
+    for n in names:
+        if placement.is_placed(n):
+            x, y = placement.location(n)
+            xs.append(x)
+            ys.append(y)
+    if len(xs) < 2:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def incident_nets(netlist, gate_name: str):
+    """All nets touching a gate: its inputs plus its output."""
+    gate = netlist.gate(gate_name)
+    return list(dict.fromkeys(list(gate.inputs) + [gate.output]))
+
+
+def incident_hpwl(netlist, placement, gate_name: str) -> float:
+    """Total HPWL (um) of the nets incident to one cell.
+
+    For the NAND cell of paper Fig. 9 this is the four incident nets'
+    combined wirelength.
+    """
+    return sum(
+        net_hpwl(netlist, placement, n) for n in incident_nets(netlist, gate_name)
+    )
+
+
+def total_hpwl(netlist, placement) -> float:
+    """Total HPWL (um) over all nets of the design."""
+    return sum(net_hpwl(netlist, placement, n) for n in netlist.nets)

@@ -1,0 +1,107 @@
+"""Placement legalization.
+
+A single-pass Abacus-style legalizer: cells are assigned to their nearest
+row, then packed left-to-right in x-order with minimum displacement so no
+two cells overlap and every cell sits on a site boundary.  dosePl invokes
+this after each swap round ("a legalization process is invoked to legalize
+the swapped cells", Section IV-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.placement.placement import Placement
+
+
+class LegalizationError(ValueError):
+    """The cells of some row cannot fit within the die width."""
+
+
+def legalize(placement: Placement, netlist, library) -> Placement:
+    """Return a legalized copy of ``placement``.
+
+    Cells keep their row (nearest to the input y) and their x-order within
+    the row; overlaps are resolved by packing at site granularity with
+    minimal rightward/leftward shifts.
+
+    Raises
+    ------
+    LegalizationError
+        If a row's total cell width exceeds the die width.
+    """
+    die = placement.die
+    site_w = die.site_width
+
+    # group cells by nearest row
+    rows: dict = {r: [] for r in range(die.n_rows)}
+    for name, (x, y) in placement.items():
+        rows[die.row_of(y)].append((x, name))
+
+    legal = Placement(die)
+    for r, cells in rows.items():
+        if not cells:
+            continue
+        cells.sort()
+        widths = [
+            library.cell(netlist.gate(name).master).width_sites * site_w
+            for _x, name in cells
+        ]
+        if sum(widths) > die.width + 1e-9:
+            raise LegalizationError(
+                f"row {r}: cells need {sum(widths):.1f} um, die is "
+                f"{die.width:.1f} um wide"
+            )
+        # left-to-right pack: place each cell at max(desired, previous end),
+        # snapped to sites
+        cursor = 0.0
+        placed = []
+        for (x, name), w in zip(cells, widths):
+            x_snap = round(max(x, cursor) / site_w) * site_w
+            if x_snap < cursor - 1e-9:
+                x_snap = cursor
+            placed.append((name, x_snap, w))
+            cursor = x_snap + w
+        # if the row overflowed the right edge, shift the tail back left
+        # (site-aligned)
+        overflow = cursor - die.width
+        if overflow > 1e-9:
+            shifted = []
+            cursor = math.floor(die.width / site_w) * site_w
+            for name, x, w in reversed(placed):
+                x_new = min(x, math.floor((cursor - w) / site_w) * site_w)
+                shifted.append((name, max(0.0, x_new), w))
+                cursor = max(0.0, x_new)
+            placed = list(reversed(shifted))
+        y = r * die.row_height
+        for name, x, _w in placed:
+            legal.place(name, min(x, die.width), min(y, die.height))
+    return legal
+
+
+def max_displacement(before: Placement, after: Placement) -> float:
+    """Largest Manhattan move (um) any cell made during legalization."""
+    worst = 0.0
+    for name, (x0, y0) in before.items():
+        x1, y1 = after.location(name)
+        worst = max(worst, abs(x1 - x0) + abs(y1 - y0))
+    return worst
+
+
+def has_overlaps(placement: Placement, netlist, library) -> bool:
+    """Whether any two same-row cells overlap (for assertions in tests)."""
+    rows: dict = {}
+    for name, (x, y) in placement.items():
+        rows.setdefault(placement.die.row_of(y), []).append((x, name))
+    for cells in rows.values():
+        cells.sort()
+        end = -1.0
+        for x, name in cells:
+            if x < end - 1e-9:
+                return True
+            w = (
+                library.cell(netlist.gate(name).master).width_sites
+                * placement.die.site_width
+            )
+            end = x + w
+    return False

@@ -1,0 +1,5 @@
+"""Leakage power analysis substrate."""
+
+from repro.power.leakage import gate_leakage, leakage_by_master, total_leakage
+
+__all__ = ["gate_leakage", "total_leakage", "leakage_by_master"]

@@ -1,0 +1,5 @@
+"""Global routing substrate (the flow's ECO-routing fidelity level)."""
+
+from repro.route.router import GlobalRouter, RouteResult, RoutingGrid
+
+__all__ = ["GlobalRouter", "RouteResult", "RoutingGrid"]

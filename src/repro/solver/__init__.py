@@ -1,0 +1,23 @@
+"""Convex QP/QCP solvers (the CPLEX substitute)."""
+
+from repro.solver.ipm import solve_qp_ipm
+from repro.solver.qcp import METHOD_ADMM, METHOD_IPM, solve_qcp
+from repro.solver.qp import solve_qp
+from repro.solver.result import (
+    STATUS_INFEASIBLE,
+    STATUS_MAX_ITER,
+    STATUS_SOLVED,
+    SolveResult,
+)
+
+__all__ = [
+    "solve_qp",
+    "solve_qp_ipm",
+    "solve_qcp",
+    "METHOD_ADMM",
+    "METHOD_IPM",
+    "SolveResult",
+    "STATUS_SOLVED",
+    "STATUS_MAX_ITER",
+    "STATUS_INFEASIBLE",
+]

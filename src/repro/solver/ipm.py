@@ -1,0 +1,190 @@
+"""Primal-dual interior-point QP solver (Mehrotra predictor-corrector).
+
+Solves the same problem as :func:`repro.solver.qp.solve_qp`:
+
+    minimize    (1/2) x' P x + q' x
+    subject to  l <= A x <= u
+
+by converting the two-sided constraints to inequality form ``G x <= h``
+and running a standard Mehrotra predictor-corrector method on the
+perturbed KKT conditions.  Each iteration factorizes the quasi-definite
+augmented system
+
+    [ P    G' ] [dx]   [rhs_x]
+    [ G  -S/Z ] [dz] = [rhs_z]
+
+with SuperLU.  Iteration counts are nearly independent of conditioning,
+which makes this backend much faster than ADMM on the dose-map programs
+(whose arrival-time variables are cost-free and create flat directions
+that stall first-order methods).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.solver.result import (
+    STATUS_INFEASIBLE,
+    STATUS_MAX_ITER,
+    STATUS_SOLVED,
+    SolveResult,
+)
+
+
+def _to_inequalities(A, l, u):
+    """Stack finite-bound rows of l <= Ax <= u into G x <= h."""
+    A = sp.csr_matrix(A)
+    rows_u = np.isfinite(u)
+    rows_l = np.isfinite(l)
+    blocks, rhs = [], []
+    if rows_u.any():
+        blocks.append(A[rows_u])
+        rhs.append(u[rows_u])
+    if rows_l.any():
+        blocks.append(-A[rows_l])
+        rhs.append(-l[rows_l])
+    if not blocks:
+        raise ValueError("problem has no finite constraints")
+    G = sp.vstack(blocks, format="csc")
+    h = np.concatenate(rhs)
+    return G, h
+
+
+def solve_qp_ipm(
+    P,
+    q,
+    A,
+    l,
+    u,
+    max_iter: int = 60,
+    tol: float = 1e-7,
+    x0=None,
+) -> SolveResult:
+    """Interior-point solve of ``min (1/2)x'Px + q'x s.t. l <= Ax <= u``.
+
+    Parameters mirror :func:`repro.solver.qp.solve_qp`; ``x0`` is accepted
+    for API compatibility but interior-point methods do not benefit from
+    primal warm starts, so it is ignored.
+
+    Returns
+    -------
+    SolveResult
+    """
+    t_start = time.perf_counter()
+    P = sp.csc_matrix(P)
+    P = 0.5 * (P + P.T)
+    q = np.asarray(q, dtype=float).ravel()
+    A = sp.csc_matrix(A)
+    l = np.asarray(l, dtype=float).ravel()
+    u = np.asarray(u, dtype=float).ravel()
+    n = q.size
+    if P.shape != (n, n) or A.shape[1] != n:
+        raise ValueError("inconsistent problem dimensions")
+    if l.size != A.shape[0] or u.size != A.shape[0]:
+        raise ValueError("bounds must match the constraint count")
+    if np.any(l > u + 1e-12):
+        raise ValueError("found l > u: trivially infeasible bounds")
+
+    G, h = _to_inequalities(A, l, u)
+    m = h.size
+    Gt = G.T.tocsc()
+
+    # a small primal regularization keeps the normal matrix positive
+    # definite even when P has a null space
+    reg = 1e-9 * sp.eye(n)
+
+    x = np.zeros(n)
+    s = np.maximum(h - G @ x, 1.0)
+    z = np.ones(m)
+
+    scale_obj = max(1.0, float(np.linalg.norm(q, np.inf)))
+    scale_h = max(1.0, float(np.linalg.norm(h, np.inf)))
+
+    def _max_step(v, dv):
+        neg = dv < 0
+        if not np.any(neg):
+            return 1.0
+        return min(1.0, float(np.min(-v[neg] / dv[neg])))
+
+    status = STATUS_MAX_ITER
+    iters_done = max_iter
+    for it in range(1, max_iter + 1):
+        r_dual = P @ x + q + G.T @ z
+        r_prim = G @ x + s - h
+        mu = float(s @ z) / m
+
+        if (
+            np.linalg.norm(r_prim, np.inf) <= tol * scale_h
+            and np.linalg.norm(r_dual, np.inf) <= tol * scale_obj
+            and mu <= tol
+        ):
+            status = STATUS_SOLVED
+            iters_done = it - 1
+            break
+
+        # Normal equations: eliminate dz = W^{-1} (G dx - r2), giving
+        # (P + G' W^{-1} G) dx = r1 + G' W^{-1} r2 with W = diag(s/z).
+        w_inv = z / s
+        normal = (P + reg + Gt @ sp.diags(w_inv) @ G).tocsc()
+        try:
+            lu = spla.splu(normal)
+        except RuntimeError:
+            break  # singular system: return best effort
+
+        def _solve_step(r1, r2):
+            dx = lu.solve(r1 + Gt @ (w_inv * r2))
+            dz = w_inv * (G @ dx - r2)
+            return dx, dz
+
+        # --- affine (predictor) step
+        dx_a, dz_a = _solve_step(-r_dual, -r_prim + s)
+        ds_a = -s - (s / z) * dz_a
+
+        alpha_a = min(_max_step(s, ds_a), _max_step(z, dz_a))
+        mu_aff = float((s + alpha_a * ds_a) @ (z + alpha_a * dz_a)) / m
+        sigma = (mu_aff / max(mu, 1e-300)) ** 3
+
+        # --- corrector step
+        rc = -s * z - ds_a * dz_a + sigma * mu
+        dx, dz = _solve_step(-r_dual, -r_prim - rc / z)
+        ds = (rc - s * dz) / z
+
+        eta = 0.99 if mu > 1e-6 else 0.999
+        alpha = eta * min(_max_step(s, ds), _max_step(z, dz))
+        x = x + alpha * dx
+        s = s + alpha * ds
+        z = z + alpha * dz
+
+        # divergence check: an infeasible problem drives the duals to
+        # infinity while the primal residual stalls
+        if not np.all(np.isfinite(x)) or float(np.abs(z).max()) > 1e14:
+            status = STATUS_INFEASIBLE
+            iters_done = it
+            break
+
+    r_dual = P @ x + q + G.T @ z
+    r_prim = G @ x + s - h
+    mu = float(s @ z) / m
+    if (
+        status != STATUS_SOLVED
+        and np.linalg.norm(r_prim, np.inf) <= 10 * tol * scale_h
+        and np.linalg.norm(r_dual, np.inf) <= 10 * tol * scale_obj
+        and mu <= 10 * tol
+    ):
+        status = STATUS_SOLVED
+
+    obj = float(0.5 * x @ (P @ x) + q @ x)
+    return SolveResult(
+        status=status,
+        x=x,
+        obj=obj,
+        iterations=iters_done,
+        r_prim=float(np.linalg.norm(r_prim, np.inf)),
+        r_dual=float(np.linalg.norm(r_dual, np.inf)),
+        solve_time=time.perf_counter() - t_start,
+        info={"mu": mu},
+    )

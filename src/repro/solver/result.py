@@ -1,0 +1,57 @@
+"""Solver result container and status codes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Converged within tolerances.
+STATUS_SOLVED = "solved"
+#: Iteration limit reached before convergence (best iterate returned).
+STATUS_MAX_ITER = "max_iter"
+#: The problem was detected to be (primal) infeasible.
+STATUS_INFEASIBLE = "infeasible"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a QP/QCP solve.
+
+    Attributes
+    ----------
+    status:
+        One of the STATUS_* constants.
+    x:
+        Primal solution (best iterate when not converged).
+    obj:
+        Objective value at ``x``.
+    iterations:
+        ADMM iterations used (summed over bisection steps for QCP).
+    r_prim, r_dual:
+        Final unscaled primal/dual residual infinity norms.
+    solve_time:
+        Wall-clock seconds.
+    info:
+        Solver-specific extras (e.g. QCP's multiplier ``lam``).
+    """
+
+    status: str
+    x: np.ndarray
+    obj: float
+    iterations: int
+    r_prim: float
+    r_dual: float
+    solve_time: float
+    info: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_SOLVED
+
+    def __repr__(self):
+        return (
+            f"SolveResult({self.status}, obj={self.obj:.6g}, "
+            f"iters={self.iterations}, r_prim={self.r_prim:.2e}, "
+            f"r_dual={self.r_dual:.2e}, {self.solve_time:.2f}s)"
+        )

@@ -1,0 +1,33 @@
+"""Technology substrate: process nodes and analytical device models."""
+
+from repro.tech.corners import corner_node, standard_corners
+from repro.tech.device import (
+    dose_to_delta_cd,
+    gate_input_cap,
+    leakage_current,
+    leakage_power,
+    on_resistance,
+    output_slew,
+    parasitic_cap,
+    stage_delay,
+    threshold_voltage,
+)
+from repro.tech.node import TechNode, get_node, tech_65nm, tech_90nm
+
+__all__ = [
+    "TechNode",
+    "get_node",
+    "tech_65nm",
+    "tech_90nm",
+    "threshold_voltage",
+    "on_resistance",
+    "gate_input_cap",
+    "parasitic_cap",
+    "stage_delay",
+    "output_slew",
+    "leakage_current",
+    "leakage_power",
+    "dose_to_delta_cd",
+    "corner_node",
+    "standard_corners",
+]

@@ -1,0 +1,98 @@
+"""Monte Carlo leakage distribution under CD variation.
+
+Chip leakage under gate-length variation is the classic heavy-tailed
+(lognormal-like) distribution: the exponential leakage-vs-L relation
+turns symmetric CD noise into asymmetric leakage noise, so *mean* chip
+leakage exceeds the leakage of the mean chip.  This estimator samples the
+exact exponential device model (not the optimizer's quadratic), fully
+vectorized across samples and gates, and quantifies how a dose map shifts
+the distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tech import device
+
+
+class LeakageMonteCarlo:
+    """Vectorized exact-model leakage sampler for one design.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.model.DesignContext`.  Per-gate device
+        parameters (widths, stacks, state factors) are captured once; the
+        per-sample evaluation is pure numpy.
+    """
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        nl = ctx.netlist
+        lib = ctx.library
+        self.node = lib.node
+        order = nl.topological_order(lib)
+        self._order = order
+        masters = [lib.cell(nl.gates[g].master) for g in order]
+        self._w_n = np.array([m.w_n for m in masters])
+        self._w_p = np.array([m.w_p for m in masters])
+        self._stack_n = np.array([float(m.stack_n) for m in masters])
+        self._stack_p = np.array([float(m.stack_p) for m in masters])
+        self._leak_states = np.array([m.leak_states for m in masters])
+
+    def _gate_dose_shift_nm(self, dose_map) -> np.ndarray:
+        if dose_map is None:
+            return np.zeros(len(self._order))
+        lib = self.ctx.library
+        place = self.ctx.placement
+        return np.array(
+            [
+                lib.dose_to_dl(dose_map.dose_of_gate(place, g))
+                for g in self._order
+            ]
+        )
+
+    def leakage_samples(self, dl_nm: np.ndarray, dose_map=None) -> np.ndarray:
+        """Total chip leakage (uW) per sample.
+
+        ``dl_nm`` has shape (n_samples, n_gates) in topological order
+        (compatible with :meth:`TimingMonteCarlo.sample_dl`).
+        """
+        dl_nm = np.atleast_2d(np.asarray(dl_nm, dtype=float))
+        if dl_nm.shape[1] != len(self._order):
+            raise ValueError(
+                f"dl matrix has {dl_nm.shape[1]} gate columns, design has "
+                f"{len(self._order)}"
+            )
+        node = self.node
+        lengths = node.l_nominal + dl_nm + self._gate_dose_shift_nm(dose_map)
+        lengths = np.maximum(lengths, 1.0)
+        i_n = device.leakage_current(node, lengths, self._w_n) / self._stack_n
+        i_p = device.leakage_current(node, lengths, self._w_p) / self._stack_p
+        per_gate = self._leak_states * 0.5 * (i_n + i_p) * node.vdd
+        return per_gate.sum(axis=1)
+
+    def nominal_leakage(self) -> float:
+        """Zero-variation total (sanity anchor to the golden analysis)."""
+        return float(self.leakage_samples(np.zeros((1, len(self._order))))[0])
+
+
+def leakage_statistics(samples: np.ndarray) -> dict:
+    """Summary statistics of a leakage sample set.
+
+    Returns mean, std, p50/p95/p99 and the mean/median ratio (a
+    tail-heaviness indicator; > 1 for the lognormal-like chip leakage).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    p50, p95, p99 = np.percentile(samples, [50, 95, 99])
+    return {
+        "mean": float(samples.mean()),
+        "std": float(samples.std()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean_over_median": float(samples.mean() / p50),
+    }

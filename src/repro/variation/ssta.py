@@ -1,0 +1,199 @@
+"""Statistical static timing analysis (SSTA), first-order canonical form.
+
+The analytic complement of :mod:`repro.variation.montecarlo`: gate delays
+are modeled in the canonical first-order form
+
+    D = d0 + sum_k s_k * X_k + r * R,
+
+where the ``X_k`` are shared standard-normal sources (one per spatial
+correlation grid -- the systematic CD component) and ``R`` is a
+gate-private standard normal (the random CD component).  Arrival times
+propagate through SUM exactly and through MAX with Clark's moment
+matching, preserving spatial correlation -- which is exactly what a dose
+map manipulates, making SSTA the natural yield analysis for this paper's
+setting.
+
+Outputs the chip MCT as a canonical form, from which mean, sigma, and
+timing-yield quantiles follow in closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dosemap import GridPartition
+from repro.variation.montecarlo import VariationModel
+
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+def _phi(x: float) -> float:
+    """Standard normal pdf."""
+    return math.exp(-0.5 * x * x) / _SQRT2PI
+
+
+def _cap_phi(x: float) -> float:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass
+class CanonicalDelay:
+    """First-order canonical random variable (see module docstring)."""
+
+    mean: float
+    sens: np.ndarray  # sensitivities to the shared sources
+    rand: float  # sigma of the private independent part
+
+    @property
+    def variance(self) -> float:
+        return float(self.sens @ self.sens + self.rand * self.rand)
+
+    @property
+    def sigma(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    def shifted(self, delta_mean: float) -> "CanonicalDelay":
+        return CanonicalDelay(self.mean + delta_mean, self.sens, self.rand)
+
+    def plus(self, other: "CanonicalDelay") -> "CanonicalDelay":
+        """Exact sum (private parts are independent)."""
+        return CanonicalDelay(
+            self.mean + other.mean,
+            self.sens + other.sens,
+            math.hypot(self.rand, other.rand),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Gaussian quantile of this variable."""
+        from scipy.stats import norm
+
+        return float(self.mean + self.sigma * norm.ppf(q))
+
+
+def clark_max(a: CanonicalDelay, b: CanonicalDelay) -> CanonicalDelay:
+    """Clark's moment-matched MAX of two canonical variables."""
+    var_a, var_b = a.variance, b.variance
+    cov = float(a.sens @ b.sens)  # private parts are independent
+    theta2 = max(var_a + var_b - 2.0 * cov, 1e-30)
+    theta = math.sqrt(theta2)
+    alpha = (a.mean - b.mean) / theta
+    p = _cap_phi(alpha)
+    d = _phi(alpha)
+
+    mean = a.mean * p + b.mean * (1.0 - p) + theta * d
+    second = (
+        (var_a + a.mean**2) * p
+        + (var_b + b.mean**2) * (1.0 - p)
+        + (a.mean + b.mean) * theta * d
+    )
+    var = max(second - mean * mean, 0.0)
+
+    sens = p * a.sens + (1.0 - p) * b.sens
+    resid = var - float(sens @ sens)
+    rand = math.sqrt(resid) if resid > 0 else 0.0
+    return CanonicalDelay(mean, sens, rand)
+
+
+class SSTA:
+    """Block-based SSTA over a design context.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.model.DesignContext`.
+    model:
+        The :class:`~repro.variation.montecarlo.VariationModel` whose
+        random/systematic decomposition defines the canonical sources.
+    """
+
+    def __init__(self, ctx, model: VariationModel):
+        self.ctx = ctx
+        self.model = model
+        nl = ctx.netlist
+        lib = ctx.library
+        place = ctx.placement
+        self._order = nl.topological_order(lib)
+        part = GridPartition(
+            place.die.width, place.die.height, model.correlation_grid_um
+        )
+        self.partition = part
+        assign = part.assign_gates(place)
+        self._grid_of = {g: assign[g] for g in self._order}
+        self._n_sources = part.n_grids
+        self._is_seq = {
+            g: lib.cell(nl.gates[g].master).is_sequential for g in self._order
+        }
+
+    def _gate_delay_canonical(self, name: str, dose_map=None) -> CanonicalDelay:
+        ctx = self.ctx
+        a = ctx.delay_fit_for(name).a  # ns per nm of gate length
+        t0 = ctx.baseline.gate_delay[name]
+        if dose_map is not None:
+            dl = ctx.library.dose_to_dl(
+                dose_map.dose_of_gate(ctx.placement, name)
+            )
+            t0 = max(t0 + a * dl, 0.0)
+        sens = np.zeros(self._n_sources)
+        sens[self._grid_of[name]] = a * self.model.sigma_systematic_nm
+        rand = abs(a) * self.model.sigma_random_nm
+        return CanonicalDelay(t0, sens, rand)
+
+    def analyze(self, dose_map=None) -> CanonicalDelay:
+        """Propagate canonical arrivals; returns the chip MCT variable."""
+        ctx = self.ctx
+        nl = ctx.netlist
+        lib = ctx.library
+        wire = ctx.baseline.wire_delay
+        zero = CanonicalDelay(0.0, np.zeros(self._n_sources), 0.0)
+
+        arrival: dict = {}
+        for name in self._order:
+            gate = nl.gates[name]
+            delay = self._gate_delay_canonical(name, dose_map)
+            if self._is_seq[name]:
+                arrival[name] = delay
+                continue
+            best = None
+            for net_name in gate.inputs:
+                drv = nl.nets[net_name].driver
+                if drv is None:
+                    pin = zero
+                else:
+                    pin = arrival[drv].shifted(wire.get((drv, name), 0.0))
+                best = pin if best is None else clark_max(best, pin)
+            base = best if best is not None else zero
+            arrival[name] = base.plus(delay)
+
+        mct = None
+        for name in self._order:
+            gate = nl.gates[name]
+            if nl.nets[gate.output].is_primary_output:
+                cand = arrival[name]
+                mct = cand if mct is None else clark_max(mct, cand)
+        for name in self._order:
+            if not self._is_seq[name]:
+                continue
+            gate = nl.gates[name]
+            setup = lib.cell(gate.master).setup_ns
+            for net_name in gate.inputs:
+                drv = nl.nets[net_name].driver
+                if drv is None:
+                    continue
+                cand = arrival[drv].shifted(
+                    wire.get((drv, name), 0.0) + setup
+                )
+                mct = cand if mct is None else clark_max(mct, cand)
+        if mct is None:
+            raise ValueError("design has no timing endpoints")
+        return mct
+
+
+def ssta_timing_yield(mct: CanonicalDelay, clock_period: float) -> float:
+    """P(MCT <= T) under the Gaussian canonical model."""
+    if mct.sigma == 0:
+        return 1.0 if mct.mean <= clock_period else 0.0
+    return _cap_phi((clock_period - mct.mean) / mct.sigma)

@@ -1,0 +1,7 @@
+"""Wafer-level extension: across-wafer delay-variation minimization
+(the paper's Section VI future work)."""
+
+from repro.wafer.optimize import WaferDoseResult, equalize_wafer_timing
+from repro.wafer.wafer import DieSite, Wafer
+
+__all__ = ["Wafer", "DieSite", "WaferDoseResult", "equalize_wafer_timing"]

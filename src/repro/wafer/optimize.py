@@ -1,0 +1,125 @@
+"""Across-wafer dose optimization (the paper's Section VI future work).
+
+Scanner reality: besides the intrafield profiles, DoseMapper applies "a
+dose offset ... per field" (Section II-A).  Given a wafer whose die sites
+carry systematic CD bias (AWLV), this module chooses that per-die dose
+offset to **minimize the delay variation of different chips across the
+wafer** -- the extension the paper names as ongoing work -- and reports
+the resulting timing-yield improvement.
+
+The per-die MCT and leakage under a uniform effective CD shift are
+interpolated from a golden uniform-dose sweep of the design (the same
+machinery as Tables II/III), so wafer-level results stay consistent with
+die-level signoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sweep import uniform_dose_sweep
+
+
+@dataclass
+class WaferDoseResult:
+    """Outcome of the per-die dose-offset optimization.
+
+    MCT arrays are indexed by die site index.  ``spread`` entries are
+    (max - min) MCT in ns; ``sigma`` entries are the MCT standard
+    deviation.
+    """
+
+    offsets: np.ndarray
+    mct_before: np.ndarray
+    mct_after: np.ndarray
+    leakage_before: float
+    leakage_after: float
+
+    @property
+    def spread_before(self) -> float:
+        return float(self.mct_before.max() - self.mct_before.min())
+
+    @property
+    def spread_after(self) -> float:
+        return float(self.mct_after.max() - self.mct_after.min())
+
+    @property
+    def sigma_before(self) -> float:
+        return float(self.mct_before.std())
+
+    @property
+    def sigma_after(self) -> float:
+        return float(self.mct_after.std())
+
+    def timing_yield(self, target_mct: float, after: bool = True) -> float:
+        """Fraction of dies meeting a cycle-time target."""
+        mcts = self.mct_after if after else self.mct_before
+        return float(np.mean(mcts <= target_mct))
+
+
+class _DieModels:
+    """Interpolators die-MCT(dose) and die-leakage(dose) from a sweep."""
+
+    def __init__(self, ctx, doses=None):
+        points = uniform_dose_sweep(ctx, doses=doses)
+        self.doses = np.array([p.dose for p in points])
+        self.mcts = np.array([p.mct for p in points])
+        self.leaks = np.array([p.leakage for p in points])
+
+    def mct(self, dose):
+        return np.interp(dose, self.doses, self.mcts)
+
+    def leakage(self, dose):
+        return np.interp(dose, self.doses, self.leaks)
+
+
+def equalize_wafer_timing(
+    ctx,
+    wafer,
+    dose_range: float = None,
+    target_dose: float = 0.0,
+    sweep_doses=None,
+) -> WaferDoseResult:
+    """Choose per-die dose offsets that equalize die MCT across the wafer.
+
+    Each die's systematic CD bias is equivalent to a uniform dose error
+    ``b_i / Ds``; the offset drives every die to the common effective
+    dose ``target_dose``, clipped to the correction range.  With
+    ``target_dose = 0`` this recovers nominal printing everywhere
+    (delay-variation minimization); a positive target bins the whole
+    wafer faster at a leakage cost.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.model.DesignContext` for the die design.
+    wafer:
+        A :class:`~repro.wafer.wafer.Wafer`.
+    dose_range:
+        Per-die offset limit (%); defaults to the library's dose range.
+    """
+    lib = ctx.library
+    if dose_range is None:
+        dose_range = lib.dose_range
+    models = _DieModels(ctx, doses=sweep_doses)
+
+    bias_nm = wafer.cd_bias_vector()
+    # CD bias in dose-equivalent percent: bias_nm = Ds * d  =>  d = bias/Ds
+    bias_dose = bias_nm / lib.dose_sensitivity
+    offsets = np.clip(target_dose - bias_dose, -dose_range, dose_range)
+    eff_before = bias_dose
+    eff_after = bias_dose + offsets
+
+    mct_before = models.mct(eff_before)
+    mct_after = models.mct(eff_after)
+    leak_before = float(np.sum(models.leakage(eff_before)))
+    leak_after = float(np.sum(models.leakage(eff_after)))
+    return WaferDoseResult(
+        offsets=offsets,
+        mct_before=np.asarray(mct_before),
+        mct_after=np.asarray(mct_after),
+        leakage_before=leak_before,
+        leakage_after=leak_after,
+    )

@@ -1,0 +1,95 @@
+"""Wafer model: die sites with systematic across-wafer CD variation.
+
+Substrate for the paper's stated future work ("extension of the dose map
+optimization methodology to minimize the delay variation of different
+chips across the wafer", Section VI).  A :class:`Wafer` holds the die
+sites of a wafer map and a systematic across-wafer linewidth variation
+(AWLV) model: a radial CD bias (track/etcher signature, per the paper's
+footnote: "AWLV is affected by the track and etcher") plus optional
+per-die random offsets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """One exposure site on the wafer (die center coordinates, mm)."""
+
+    index: int
+    x_mm: float
+    y_mm: float
+
+    def radius_mm(self) -> float:
+        return math.hypot(self.x_mm, self.y_mm)
+
+
+@dataclass
+class Wafer:
+    """A wafer map with a systematic CD-bias model.
+
+    Attributes
+    ----------
+    radius_mm:
+        Usable wafer radius (default 150 mm wafer minus edge exclusion).
+    die_w_mm, die_h_mm:
+        Die (exposure step) pitch.
+    radial_cd_bias_nm:
+        CD bias at the wafer edge relative to the center (nm); the bias
+        at radius r is ``radial_cd_bias_nm * (r / radius_mm)^2`` -- the
+        bowl shape typical of track/etcher signatures.
+    random_cd_sigma_nm:
+        Per-die random CD offset sigma (nm).
+    """
+
+    radius_mm: float = 140.0
+    die_w_mm: float = 20.0
+    die_h_mm: float = 20.0
+    radial_cd_bias_nm: float = 3.0
+    random_cd_sigma_nm: float = 0.3
+    seed: int = 11
+    sites: list = field(init=False)
+
+    def __post_init__(self):
+        if self.radius_mm <= 0 or self.die_w_mm <= 0 or self.die_h_mm <= 0:
+            raise ValueError("wafer and die dimensions must be positive")
+        sites = []
+        idx = 0
+        ny = int(self.radius_mm // self.die_h_mm) + 1
+        nx = int(self.radius_mm // self.die_w_mm) + 1
+        for iy in range(-ny, ny + 1):
+            for ix in range(-nx, nx + 1):
+                x = (ix + 0.5) * self.die_w_mm
+                y = (iy + 0.5) * self.die_h_mm
+                # keep dies fully inside the usable radius
+                corner = math.hypot(
+                    abs(x) + self.die_w_mm / 2, abs(y) + self.die_h_mm / 2
+                )
+                if corner <= self.radius_mm:
+                    sites.append(DieSite(idx, x, y))
+                    idx += 1
+        if not sites:
+            raise ValueError("no die fits on this wafer")
+        self.sites = sites
+        rng = np.random.default_rng(self.seed)
+        self._random_offsets = self.random_cd_sigma_nm * rng.standard_normal(
+            len(sites)
+        )
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.sites)
+
+    def cd_bias_nm(self, site: DieSite) -> float:
+        """Systematic + random CD bias (nm) of one die site."""
+        radial = self.radial_cd_bias_nm * (site.radius_mm() / self.radius_mm) ** 2
+        return radial + float(self._random_offsets[site.index])
+
+    def cd_bias_vector(self) -> np.ndarray:
+        """CD bias (nm) for every die, indexed by site index."""
+        return np.array([self.cd_bias_nm(s) for s in self.sites])

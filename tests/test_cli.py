@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "AES-65"])
+        assert args.design == "AES-65"
+        assert args.command == "generate"
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "AES-65"])
+        assert args.grid == 5.0
+        assert args.mode == "qcp"
+        assert not args.dosepl
+
+    def test_optimize_flags(self):
+        args = build_parser().parse_args(
+            ["optimize", "AES-90", "--mode", "qp", "--grid", "10",
+             "--both-layers", "--dosepl", "--smoothness", "1.5"]
+        )
+        assert args.both_layers and args.dosepl
+        assert args.grid == 10.0
+        assert args.smoothness == 1.5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_bad_design_rejected_for_generate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "DES-45"])
+
+
+class TestEndToEnd:
+    def test_generate_analyze_roundtrip(self, tmp_path, capsys):
+        v = tmp_path / "design.v"
+        d = tmp_path / "design.def"
+        rc = main(["generate", "AES-90", "--scale", "0.2",
+                   "--verilog", str(v), "--def", str(d)])
+        assert rc == 0
+        assert v.exists() and d.exists()
+
+        rc = main(["analyze", "--verilog", str(v), "--def", str(d),
+                   "--node", "90nm", "--paths", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+        assert "Leakage power report" in out
+
+    def test_analyze_builtin(self, capsys):
+        rc = main(["analyze", "AES-90", "--scale", "0.2", "--paths", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Path 2:" in out
+
+    def test_optimize_builtin(self, capsys):
+        rc = main(["optimize", "AES-90", "--scale", "0.2", "--grid", "10",
+                   "--mode", "qp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "after DMopt" in out
+        assert "Dose map (poly)" in out
+
+    def test_missing_source_errors(self):
+        with pytest.raises(SystemExit, match="design name"):
+            main(["analyze"])

@@ -1,0 +1,148 @@
+"""Unit tests for DesignContext and the DMopt formulation assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core import DesignContext, build_formulation
+from repro.dosemap import DoseMap, GridPartition
+from repro.netlist import make_design
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """A small AES-65 variant for fast tests."""
+    return DesignContext(make_design("AES-65", scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def ctx_w():
+    return DesignContext(make_design("AES-65", scale=0.25), fit_width=True)
+
+
+class TestDesignContext:
+    def test_from_name(self):
+        small = DesignContext(make_design("AES-90", scale=0.2))
+        assert small.baseline.mct > 0
+        assert small.baseline_leakage > 0
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            DesignContext(42)
+
+    def test_baseline_worst_slack_zero(self, ctx):
+        assert ctx.baseline.worst_slack == pytest.approx(0.0, abs=1e-9)
+
+    def test_fits_available_for_all_gates(self, ctx):
+        for name in list(ctx.netlist.gates)[:50]:
+            dfit = ctx.delay_fit_for(name)
+            lfit = ctx.leakage_fit_for(name)
+            assert dfit.a > 0
+            assert lfit.alpha >= 0
+
+    def test_gate_doses_snap(self, ctx):
+        part = GridPartition(
+            ctx.placement.die.width, ctx.placement.die.height, 5.0
+        )
+        vals = np.full((part.m, part.n), 1.13)  # off-grid dose
+        dm = DoseMap(part, values=vals)
+        doses = ctx.gate_doses(dm)
+        assert all(dp == 1.0 for dp, _da in doses.values())
+
+    def test_gate_doses_no_snap(self, ctx):
+        part = GridPartition(
+            ctx.placement.die.width, ctx.placement.die.height, 5.0
+        )
+        dm = DoseMap(part, values=np.full((part.m, part.n), 1.13))
+        doses = ctx.gate_doses(dm, snap=False)
+        assert all(dp == pytest.approx(1.13) for dp, _da in doses.values())
+
+    def test_golden_eval_zero_map_is_baseline(self, ctx):
+        part = GridPartition(
+            ctx.placement.die.width, ctx.placement.die.height, 10.0
+        )
+        res, leak = ctx.golden_eval(DoseMap(part))
+        assert res.mct == pytest.approx(ctx.baseline.mct, rel=1e-12)
+        assert leak == pytest.approx(ctx.baseline_leakage, rel=1e-12)
+
+    def test_golden_eval_uniform_positive_dose(self, ctx):
+        part = GridPartition(
+            ctx.placement.die.width, ctx.placement.die.height, 10.0
+        )
+        dm = DoseMap(part, values=np.full((part.m, part.n), 3.0))
+        res, leak = ctx.golden_eval(dm)
+        assert res.mct < ctx.baseline.mct
+        assert leak > ctx.baseline_leakage
+
+
+class TestFormulation:
+    def test_dimensions_poly(self, ctx):
+        form = build_formulation(ctx, grid_size=10.0)
+        g = form.partition.n_grids
+        n = ctx.netlist.n_gates
+        assert form.n_vars == g + n + 1
+        assert form.idx_T == form.n_vars - 1
+        assert form.A.shape[1] == form.n_vars
+        assert form.l.size == form.A.shape[0] == form.u.size
+
+    def test_dimensions_both_layers(self, ctx_w):
+        form = build_formulation(ctx_w, grid_size=10.0, both_layers=True)
+        g = form.partition.n_grids
+        assert form.n_vars == 2 * g + ctx_w.netlist.n_gates + 1
+
+    def test_both_layers_requires_fit_width(self, ctx):
+        with pytest.raises(ValueError, match="fit_width"):
+            build_formulation(ctx, grid_size=10.0, both_layers=True)
+
+    def test_constraint_counts(self, ctx):
+        form = build_formulation(ctx, grid_size=10.0)
+        part = form.partition
+        m, n_cols = part.m, part.n
+        n_range = part.n_grids
+        n_smooth = (m - 1) * (n_cols - 1) + m * (n_cols - 1) + (m - 1) * n_cols
+        # at least: range + smoothness + one arc per gate + clock row
+        assert form.A.shape[0] > n_range + n_smooth + ctx.netlist.n_gates
+
+    def test_zero_dose_baseline_is_feasible(self, ctx):
+        """x = (d=0, baseline arrivals, T=MCT) satisfies all constraints."""
+        form = build_formulation(ctx, grid_size=10.0)
+        g = form.partition.n_grids
+        x = np.zeros(form.n_vars)
+        for i, name in enumerate(form.gate_order):
+            x[g + i] = ctx.baseline.arrival[name]
+        x[form.idx_T] = ctx.baseline.mct
+        ax = form.A @ x
+        # tolerance: gate delays in constraints come from the *fitted*
+        # linear model's t0 which can differ from table delay slightly
+        assert np.all(ax <= form.u + 5e-3)
+        assert np.all(ax >= form.l - 5e-3)
+
+    def test_predicted_delta_leakage_zero_at_origin(self, ctx):
+        form = build_formulation(ctx, grid_size=10.0)
+        assert form.predicted_delta_leakage(np.zeros(form.n_vars)) == 0.0
+
+    def test_predicted_delta_leakage_sign(self, ctx):
+        """Uniform +dose increases leakage; -dose decreases it."""
+        form = build_formulation(ctx, grid_size=10.0)
+        g = form.partition.n_grids
+        x = np.zeros(form.n_vars)
+        x[:g] = 3.0
+        assert form.predicted_delta_leakage(x) > 0
+        x[:g] = -3.0
+        assert form.predicted_delta_leakage(x) < 0
+
+    def test_split_roundtrip(self, ctx_w):
+        form = build_formulation(ctx_w, grid_size=10.0, both_layers=True)
+        g = form.partition.n_grids
+        x = np.arange(form.n_vars, dtype=float)
+        poly, active, t = form.split(x)
+        assert poly.flat()[0] == 0.0 and poly.flat()[-1] == g - 1
+        assert active.flat()[0] == g
+        assert t == form.n_vars - 1
+
+    def test_leakage_quadratic_is_diagonal_psd(self, ctx):
+        form = build_formulation(ctx, grid_size=10.0)
+        diag = form.P_leak.diagonal()
+        assert np.all(diag >= 0)
+        g = form.partition.n_grids
+        assert np.any(diag[:g] > 0)  # poly dose quadratic terms exist
+        assert np.all(diag[g:] == 0)  # arrivals/T have no cost

@@ -1,0 +1,64 @@
+"""Tests for corner-aware dose map optimization."""
+
+import pytest
+
+from repro.core import (
+    DesignContext,
+    corner_context,
+    optimize_dose_map_corners,
+)
+from repro.netlist import make_design
+from repro.tech import corner_node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-65", scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return optimize_dose_map_corners(ctx, grid_size=10.0)
+
+
+class TestCornerContext:
+    def test_shares_geometry(self, ctx):
+        slow = corner_node(ctx.library.node, "SS", 0.9, 125.0)
+        cc = corner_context(ctx, slow)
+        assert cc.placement is ctx.placement
+        assert cc.netlist is ctx.netlist
+        assert cc.library.node.name != ctx.library.node.name
+
+    def test_slow_corner_is_slower(self, ctx):
+        slow = corner_node(ctx.library.node, "SS", 0.9, 125.0)
+        cc = corner_context(ctx, slow)
+        assert cc.baseline.mct > ctx.baseline.mct
+
+    def test_leak_corner_is_leakier(self, ctx):
+        leaky = corner_node(ctx.library.node, "FF", 1.1, 125.0)
+        cc = corner_context(ctx, leaky)
+        assert cc.baseline_leakage > ctx.baseline_leakage
+
+
+class TestCornerAwareDMopt:
+    def test_slow_corner_timing_improves(self, result):
+        assert result.slow_mct < result.slow_mct_baseline
+        assert result.mct_improvement_pct > 1.0
+
+    def test_leak_corner_budget_respected(self, result):
+        assert result.leak_corner_leakage <= (
+            result.leak_corner_baseline * 1.02
+        )
+
+    def test_dose_map_feasible(self, result):
+        assert result.dose_map_poly.is_feasible()
+
+    def test_solver_converged(self, result):
+        assert result.solve.ok
+
+    def test_nominal_corner_also_benefits(self, ctx, result):
+        """The one physical map helps at the nominal corner too (all
+        corners share the criticality structure)."""
+        golden, leak = ctx.golden_eval(result.dose_map_poly)
+        assert golden.mct < ctx.baseline.mct
+        assert leak < ctx.baseline_leakage * 1.03

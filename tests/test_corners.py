@@ -1,0 +1,96 @@
+"""Tests for PVT-corner derivation (repro.tech.corners)."""
+
+import pytest
+
+from repro.library import CellLibrary
+from repro.tech import (
+    corner_node,
+    device,
+    standard_corners,
+    tech_65nm,
+)
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    return tech_65nm()
+
+
+class TestCornerDerivation:
+    def test_tt_nominal_is_identity_like(self, nominal):
+        tt = corner_node(nominal, "TT", 1.0, nominal.temperature_c)
+        assert tt.vth0 == nominal.vth0
+        assert tt.vdd == nominal.vdd
+        # tiny residual from kT/q rounding in the nominal constant
+        assert tt.i_leak0 == pytest.approx(nominal.i_leak0, rel=1e-3)
+        assert tt.thermal_voltage == pytest.approx(
+            nominal.thermal_voltage, rel=2e-3
+        )
+
+    def test_ss_slower_than_ff(self, nominal):
+        ss = corner_node(nominal, "SS")
+        ff = corner_node(nominal, "FF")
+        d_ss = device.stage_delay(ss, 65.0, 400.0, 2.0)
+        d_ff = device.stage_delay(ff, 65.0, 400.0, 2.0)
+        assert d_ss > d_ff
+
+    def test_ff_leakier_than_ss(self, nominal):
+        ss = corner_node(nominal, "SS")
+        ff = corner_node(nominal, "FF")
+        assert device.leakage_power(ff, 65.0, 400.0) > device.leakage_power(
+            ss, 65.0, 400.0
+        )
+
+    def test_low_voltage_slower(self, nominal):
+        low = corner_node(nominal, "TT", vdd_scale=0.9)
+        high = corner_node(nominal, "TT", vdd_scale=1.1)
+        assert device.stage_delay(low, 65.0, 400.0, 2.0) > device.stage_delay(
+            high, 65.0, 400.0, 2.0
+        )
+
+    def test_hot_leakier_than_cold(self, nominal):
+        hot = corner_node(nominal, "TT", temperature_c=125.0)
+        cold = corner_node(nominal, "TT", temperature_c=-40.0)
+        assert device.leakage_power(hot, 65.0, 400.0) > device.leakage_power(
+            cold, 65.0, 400.0
+        )
+
+    def test_hot_slower_through_mobility(self, nominal):
+        hot = corner_node(nominal, "TT", temperature_c=125.0)
+        assert device.stage_delay(hot, 65.0, 400.0, 2.0) > device.stage_delay(
+            nominal, 65.0, 400.0, 2.0
+        )
+
+    def test_validation(self, nominal):
+        with pytest.raises(ValueError, match="process"):
+            corner_node(nominal, "XX")
+        with pytest.raises(ValueError, match="vdd_scale"):
+            corner_node(nominal, "TT", vdd_scale=0.0)
+        with pytest.raises(ValueError, match="absolute zero"):
+            corner_node(nominal, "TT", temperature_c=-300.0)
+
+    def test_corner_name_tagged(self, nominal):
+        c = corner_node(nominal, "SS", 0.9, 125.0)
+        assert "SS" in c.name and "125" in c.name
+
+
+class TestStandardCorners:
+    def test_corner_set(self, nominal):
+        corners = standard_corners(nominal)
+        assert set(corners) == {"ss_low_hot", "tt_nom", "ff_high_cold"}
+
+    def test_worst_delay_and_leakage_ordering(self, nominal):
+        corners = standard_corners(nominal)
+        delays = {
+            k: float(device.stage_delay(c, 65.0, 400.0, 2.0))
+            for k, c in corners.items()
+        }
+        assert delays["ss_low_hot"] > delays["tt_nom"] > delays["ff_high_cold"]
+
+    def test_library_characterizes_at_corner(self, nominal):
+        """The whole library stack runs on a corner node."""
+        ss = standard_corners(nominal)["ss_low_hot"]
+        lib = CellLibrary(ss)
+        slow = lib.nominal("INVX1").delay_at(0.05, 2.0)
+        fast = CellLibrary("65nm").nominal("INVX1").delay_at(0.05, 2.0)
+        assert slow > fast

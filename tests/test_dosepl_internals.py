@@ -1,0 +1,65 @@
+"""Unit tests for dosePl's internal heuristics (Algorithm 1 pieces)."""
+
+import math
+
+import pytest
+
+from repro.core.dosepl import DoseplConfig, _cell_leakage, _path_weights
+from repro.core import DesignContext
+from repro.netlist import make_design
+from repro.sta.paths import TimingPath
+
+
+class TestPathWeights:
+    def _path(self, gates, delay):
+        return TimingPath(gates=tuple(gates), delay=delay, endpoint="PO:x")
+
+    def test_weight_formula(self):
+        """Eq. (13): W(cell) = sum over its paths of exp(-slack)."""
+        period = 10.0
+        paths = [
+            self._path(["a", "b"], 9.5),  # slack 0.5
+            self._path(["b", "c"], 8.0),  # slack 2.0
+        ]
+        w = _path_weights(paths, period)
+        assert w["a"] == pytest.approx(math.exp(-0.5))
+        assert w["b"] == pytest.approx(math.exp(-0.5) + math.exp(-2.0))
+        assert w["c"] == pytest.approx(math.exp(-2.0))
+
+    def test_critical_paths_dominate(self):
+        period = 5.0
+        paths = [
+            self._path(["crit"], 5.0),  # zero slack
+            self._path(["cool"], 1.0),  # 4 ns slack
+        ]
+        w = _path_weights(paths, period)
+        assert w["crit"] > 10 * w["cool"]
+
+    def test_empty(self):
+        assert _path_weights([], 1.0) == {}
+
+
+class TestCellLeakageHelper:
+    def test_matches_library(self):
+        ctx = DesignContext(make_design("AES-90", scale=0.2))
+        gate = next(iter(ctx.netlist.gates))
+        master = ctx.netlist.gate(gate).master
+        direct = ctx.library.characterized(master, 2.0, 0.0).leakage_uw
+        assert _cell_leakage(ctx, gate, 2.0) == pytest.approx(direct)
+
+    def test_snaps_continuous_dose(self):
+        ctx = DesignContext(make_design("AES-90", scale=0.2))
+        gate = next(iter(ctx.netlist.gates))
+        assert _cell_leakage(ctx, gate, 1.13) == pytest.approx(
+            _cell_leakage(ctx, gate, 1.0)
+        )
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = DoseplConfig()
+        assert cfg.rounds == 10  # "total number of rounds ... is 10"
+        assert cfg.swaps_per_path == 1  # "one cell per critical path"
+        assert cfg.swaps_per_round == 1  # "one swap for each round"
+        assert cfg.hpwl_increase_limit == pytest.approx(0.20)  # "20%"
+        assert cfg.leakage_increase_limit == pytest.approx(0.10)  # "10%"

@@ -1,0 +1,92 @@
+"""Tests for the experiments harness and light experiment generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_plot,
+    fig3_delay_vs_length,
+    fig5_leakage_vs_length,
+    paper_data,
+)
+from repro.experiments.harness import TableResult
+
+
+class TestTableResult:
+    def _table(self):
+        return TableResult(
+            exp_id="Table X",
+            title="demo",
+            headers=["name", "value"],
+            rows=[["a", 1.0], ["b", 2.5]],
+            notes=["a note"],
+        )
+
+    def test_column(self):
+        t = self._table()
+        assert t.column("value") == [1.0, 2.5]
+        assert t.column("name") == ["a", "b"]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError, match="no column"):
+            self._table().column("ghost")
+
+    def test_format_contains_everything(self):
+        text = self._table().format()
+        assert "Table X" in text
+        assert "demo" in text
+        assert "2.500" in text
+        assert "note: a note" in text
+
+    def test_str_is_format(self):
+        t = self._table()
+        assert str(t) == t.format()
+
+
+class TestFigureGenerators:
+    def test_fig3_shape(self):
+        t = fig3_delay_vs_length()
+        assert len(t.rows) == 21
+        assert t.headers == ["L nm", "TPLH ns", "TPHL ns"]
+        lengths = t.column("L nm")
+        assert lengths[0] == 55.0 and lengths[-1] == 75.0
+
+    def test_fig3_tplh_slower_than_tphl(self):
+        """PMOS network (2x width but lower mobility via k_drive on same
+        model) -- both transitions positive and ordered consistently."""
+        t = fig3_delay_vs_length()
+        tplh = np.array(t.column("TPLH ns"))
+        tphl = np.array(t.column("TPHL ns"))
+        assert np.all(tplh > 0) and np.all(tphl > 0)
+
+    def test_fig5_exponential_range(self):
+        t = fig5_leakage_vs_length()
+        leak = t.column("leakage uW")
+        assert leak[0] > 3 * leak[-1]
+
+    def test_ascii_plot(self):
+        t = fig3_delay_vs_length()
+        art = ascii_plot(t, "L nm", "TPHL ns")
+        assert "*" in art
+        assert "Fig. 3" in art
+
+    def test_ascii_plot_flat_series(self):
+        t = TableResult("F", "flat", ["x", "y"], [[0.0, 1.0], [1.0, 1.0]])
+        assert "flat series" in ascii_plot(t, "x", "y")
+
+
+class TestPaperData:
+    def test_table2_signs(self):
+        for dose, (mct, leak) in paper_data.TABLE2_AES65.items():
+            if dose > 0:
+                assert mct > 0 and leak < 0
+            elif dose < 0:
+                assert mct < 0 and leak > 0
+
+    def test_table7_orderings(self):
+        t = paper_data.TABLE7
+        assert t["AES-65"][0] > t["AES-90"][0]
+        assert t["JPEG-90"][2] < t["AES-90"][2]
+
+    def test_fit_ssr_ordering(self):
+        assert paper_data.FIT_SSR_BOTH_LAYERS > paper_data.FIT_SSR_POLY_ONLY

@@ -1,0 +1,40 @@
+"""Tests for the experiments CLI runner (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "table7", "fig10"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10",
+            "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_run_one_light_experiment(self, tmp_path, capsys):
+        rc = main(["fig5", "--out", str(tmp_path)])
+        assert rc == 0
+        saved = tmp_path / "fig5.txt"
+        assert saved.exists()
+        assert "Fig. 5" in saved.read_text()
+        out = capsys.readouterr().out
+        assert "leakage uW" in out
+
+    def test_run_table7(self, tmp_path, capsys):
+        rc = main(["table7", "--out", str(tmp_path)])
+        assert rc == 0
+        text = (tmp_path / "table7.txt").read_text()
+        assert "AES-65" in text and "JPEG-90" in text

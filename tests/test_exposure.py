@@ -1,0 +1,106 @@
+"""Tests for the exposure simulation (slit convolution, quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.dosemap import DoseMap, GridPartition
+from repro.dosemap.exposure import (
+    printing_error,
+    quantize_scan,
+    simulate_exposure,
+    slit_convolve,
+)
+
+
+def _checker_map():
+    part = GridPartition(width=60.0, height=60.0, g=5.0)
+    vals = (np.indices((part.m, part.n)).sum(axis=0) % 2) * 4.0 - 2.0
+    return DoseMap(part, values=vals)
+
+
+def _gradient_map():
+    part = GridPartition(width=60.0, height=60.0, g=5.0)
+    vals = np.linspace(-3, 3, part.m)[:, None] * np.ones((1, part.n))
+    return DoseMap(part, values=vals)
+
+
+class TestSlitConvolve:
+    def test_zero_slit_is_identity(self):
+        dm = _checker_map()
+        out = slit_convolve(dm, 0.0)
+        assert np.array_equal(out.values, dm.values)
+
+    def test_smooths_checkerboard(self):
+        dm = _checker_map()
+        out = slit_convolve(dm, 15.0)
+        assert out.values.std() < 0.5 * dm.values.std()
+
+    def test_preserves_gradient_mean(self):
+        dm = _gradient_map()
+        out = slit_convolve(dm, 15.0)
+        assert out.values.mean() == pytest.approx(dm.values.mean(), abs=1e-9)
+
+    def test_only_smooths_scan_direction(self):
+        """Slit averaging acts along y; a pure-x pattern is unchanged."""
+        part = GridPartition(width=60.0, height=60.0, g=5.0)
+        vals = np.ones((part.m, 1)) * np.linspace(-3, 3, part.n)[None, :]
+        dm = DoseMap(part, values=vals)
+        out = slit_convolve(dm, 20.0)
+        assert np.allclose(out.values, dm.values)
+
+    def test_negative_slit_rejected(self):
+        with pytest.raises(ValueError):
+            slit_convolve(_checker_map(), -1.0)
+
+
+class TestQuantize:
+    def test_identity_at_one(self):
+        dm = _gradient_map()
+        assert np.array_equal(quantize_scan(dm, 1).values, dm.values)
+
+    def test_blocks_are_constant(self):
+        dm = _gradient_map()
+        out = quantize_scan(dm, 3)
+        vals = out.values
+        for start in range(0, vals.shape[0], 3):
+            block = vals[start : start + 3]
+            assert np.allclose(block, block[0])
+
+    def test_mean_preserved(self):
+        dm = _gradient_map()
+        out = quantize_scan(dm, 4)
+        assert out.values.mean() == pytest.approx(dm.values.mean(), abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_scan(_gradient_map(), 0)
+
+
+class TestExposureChain:
+    def test_printing_error_metrics(self):
+        dm = _checker_map()
+        printed = simulate_exposure(dm, slit_height_um=15.0)
+        err = printing_error(dm, printed)
+        assert err["max_abs"] > 0
+        assert err["rms"] <= err["max_abs"]
+        # optics can only smooth
+        assert err["printed_smoothness"] <= err["requested_smoothness"]
+
+    def test_smooth_map_prints_faithfully(self):
+        """A map already smoother than the slit prints almost exactly --
+        the reason the optimizer's smoothness constraint exists."""
+        dm = _gradient_map()
+        printed = simulate_exposure(dm, slit_height_um=10.0)
+        err = printing_error(dm, printed)
+        assert err["rms"] < 0.35
+        checker_err = printing_error(
+            _checker_map(), simulate_exposure(_checker_map(), 10.0)
+        )
+        assert err["rms"] < 0.3 * checker_err["rms"]
+
+    def test_shape_mismatch_rejected(self):
+        a = _checker_map()
+        part_b = GridPartition(width=30.0, height=30.0, g=5.0)
+        b = DoseMap(part_b)
+        with pytest.raises(ValueError, match="partition"):
+            printing_error(a, b)

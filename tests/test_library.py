@@ -1,0 +1,201 @@
+"""Unit tests for the standard-cell library substrate (repro.library)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.library import (
+    CellLibrary,
+    DOSE_STEP,
+    NLDMTable,
+    build_masters,
+    cell_leakage,
+    characterize_cell,
+)
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib65():
+    return CellLibrary("65nm")
+
+
+@pytest.fixture(scope="module")
+def lib90():
+    return CellLibrary("90nm")
+
+
+class TestMasters:
+    def test_master_counts_match_paper(self, lib65):
+        """Paper: 36 combinational + 9 sequential masters."""
+        assert len(lib65.combinational_names) == 36
+        assert len(lib65.sequential_names) == 9
+
+    def test_drive_strength_scales_width(self, lib65):
+        x1 = lib65.cell("INVX1")
+        x4 = lib65.cell("INVX4")
+        assert x4.w_n == pytest.approx(4 * x1.w_n)
+        assert x4.w_p == pytest.approx(4 * x1.w_p)
+
+    def test_stack_sizing(self, lib65):
+        """NAND2 pull-down is stacked and upsized 2x vs the inverter."""
+        inv = lib65.cell("INVX1")
+        nand = lib65.cell("NAND2X1")
+        assert nand.stack_n == 2
+        assert nand.w_n == pytest.approx(2 * inv.w_n)
+        assert nand.w_p == pytest.approx(inv.w_p)
+
+    def test_sequential_flags(self, lib65):
+        assert lib65.cell("DFFX1").is_sequential
+        assert lib65.cell("DFFX1").setup_ns > 0
+        assert not lib65.cell("NAND2X1").is_sequential
+
+    def test_unknown_master_raises(self, lib65):
+        with pytest.raises(KeyError, match="unknown cell master"):
+            lib65.cell("NAND9X9")
+
+    def test_invalid_master_construction(self):
+        masters = build_masters(200.0, 400.0)
+        m = masters["INVX1"]
+        with pytest.raises(ValueError):
+            type(m)(**{**m.__dict__, "w_n": -1.0})
+
+
+class TestNLDMTable:
+    def _table(self):
+        return NLDMTable(
+            slew_axis=np.array([0.01, 0.1, 1.0]),
+            load_axis=np.array([1.0, 2.0, 4.0]),
+            values=np.arange(9.0).reshape(3, 3),
+        )
+
+    def test_lookup_exact_corner(self):
+        t = self._table()
+        assert t.lookup(0.01, 1.0) == 0.0
+        assert t.lookup(1.0, 4.0) == 8.0
+
+    def test_lookup_interpolates(self):
+        t = self._table()
+        # midway between loads 1 and 2 on the first slew row: (0+1)/2
+        assert t.lookup(0.01, 1.5) == pytest.approx(0.5)
+
+    def test_lookup_clamps_out_of_range(self):
+        t = self._table()
+        assert t.lookup(10.0, 100.0) == 8.0
+        assert t.lookup(0.0, 0.0) == 0.0
+
+    def test_nearest_index(self):
+        t = self._table()
+        assert t.nearest_index(0.09, 3.9) == (1, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="does not match"):
+            NLDMTable(np.array([0.1, 0.2]), np.array([1.0, 2.0]), np.zeros((3, 3)))
+
+    def test_monotone_axis_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            NLDMTable(np.array([0.2, 0.1]), np.array([1.0, 2.0]), np.zeros((2, 2)))
+
+
+class TestCharacterization:
+    def test_delay_monotone_in_dose(self, lib65):
+        """More poly dose -> shorter gate -> faster cell."""
+        delays = [
+            lib65.characterized("NAND2X1", d).delay_at(0.05, 2.0)
+            for d in (-4.0, -2.0, 0.0, 2.0, 4.0)
+        ]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    def test_leakage_monotone_in_dose(self, lib65):
+        leaks = [
+            lib65.characterized("NAND2X1", d).leakage_uw
+            for d in (-4.0, -2.0, 0.0, 2.0, 4.0)
+        ]
+        assert all(a < b for a, b in zip(leaks, leaks[1:]))
+
+    def test_active_dose_modulates_width(self, lib65):
+        """More active dose -> narrower transistors -> slower, less leaky."""
+        fast = lib65.characterized("INVX1", 0.0, -3.0)  # wider
+        slow = lib65.characterized("INVX1", 0.0, 3.0)  # narrower
+        assert fast.delay_at(0.05, 2.0) < slow.delay_at(0.05, 2.0)
+        assert fast.leakage_uw > slow.leakage_uw
+
+    def test_width_effect_much_smaller_than_length(self, lib65):
+        """Paper Sec. V: max |dW| = 10 nm vs >=200 nm widths -> slight impact."""
+        nom = lib65.nominal("INVX1")
+        dl_only = lib65.characterized("INVX1", 5.0, 0.0)
+        dw_only = lib65.characterized("INVX1", 0.0, 5.0)
+        dl_shift = abs(dl_only.delay_at(0.05, 2.0) - nom.delay_at(0.05, 2.0))
+        dw_shift = abs(dw_only.delay_at(0.05, 2.0) - nom.delay_at(0.05, 2.0))
+        assert dw_shift < 0.35 * dl_shift
+
+    def test_multistage_cells_slower(self, lib65):
+        buf = lib65.nominal("BUFX1").delay_at(0.05, 2.0)
+        inv = lib65.nominal("INVX1").delay_at(0.05, 2.0)
+        assert buf > inv
+
+    def test_higher_drive_faster_under_load(self, lib65):
+        x1 = lib65.nominal("INVX1").delay_at(0.05, 8.0)
+        x4 = lib65.nominal("INVX4").delay_at(0.05, 8.0)
+        assert x4 < x1
+
+    def test_sequential_has_clkq_and_setup(self, lib65):
+        dff = lib65.nominal("DFFX1")
+        assert dff.setup_ns > 0
+        assert dff.delay_at(0.05, 2.0) > lib65.nominal("BUFX1").delay_at(0.05, 2.0)
+
+    def test_characterize_rejects_nonphysical_bias(self, lib65):
+        node = get_node("65nm")
+        with pytest.raises(ValueError):
+            characterize_cell(node, lib65.cell("INVX1"), dl_nm=-65.0)
+        with pytest.raises(ValueError):
+            characterize_cell(node, lib65.cell("INVX1"), dw_nm=-1e6)
+
+    def test_cache_returns_same_object(self, lib65):
+        a = lib65.characterized("INVX2", 1.5, 0.0)
+        b = lib65.characterized("INVX2", 1.5, 0.0)
+        assert a is b
+
+    def test_leakage_helper_matches_characterized(self, lib65):
+        node = get_node("65nm")
+        m = lib65.cell("NOR2X1")
+        assert lib65.nominal("NOR2X1").leakage_uw == pytest.approx(
+            cell_leakage(node, m)
+        )
+
+
+class TestDoseGrid:
+    def test_variant_grid_has_21_steps(self, lib65):
+        """Paper: 21 characterized libraries from -5 % to +5 % per layer."""
+        doses = lib65.variant_doses()
+        assert len(doses) == 21
+        assert doses[0] == -5.0 and doses[-1] == 5.0
+        assert np.allclose(np.diff(doses), DOSE_STEP)
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_snap_dose_lands_on_grid(self, dose):
+        lib = CellLibrary("65nm")
+        snapped = lib.snap_dose(dose)
+        assert -5.0 <= snapped <= 5.0
+        assert abs(snapped / DOSE_STEP - round(snapped / DOSE_STEP)) < 1e-9
+
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_snap_dose_error_bounded(self, dose):
+        lib = CellLibrary("65nm")
+        assert abs(lib.snap_dose(dose) - dose) <= DOSE_STEP / 2 + 1e-12
+
+    def test_dose_cd_conversion(self, lib65):
+        assert lib65.dose_to_dl(5.0) == -10.0
+        assert lib65.dose_to_dw(-5.0) == 10.0
+
+
+class TestCrossNode:
+    def test_90nm_cells_leak_more(self, lib65, lib90):
+        """90 nm node carries higher absolute leakage per um in this setup
+        (paper Table III shows ~5x the 65 nm chip totals)."""
+        l65 = lib65.nominal("INVX1").leakage_uw
+        l90 = lib90.nominal("INVX1").leakage_uw
+        assert l90 > l65
+
+    def test_repr(self, lib65):
+        assert "36 comb + 9 seq" in repr(lib65)

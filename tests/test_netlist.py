@@ -1,0 +1,216 @@
+"""Unit tests for the netlist model and synthetic generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.library import CellLibrary
+from repro.netlist import (
+    Netlist,
+    NetlistError,
+    design_names,
+    generate_aes_like,
+    generate_jpeg_like,
+    make_design,
+    resize_for_fanout,
+)
+
+
+@pytest.fixture(scope="module")
+def lib65():
+    return CellLibrary("65nm")
+
+
+def _tiny_netlist():
+    """in1,in2 -> NAND2 -> INV -> DFF -> INV -> out."""
+    nl = Netlist("tiny")
+    nl.add_primary_input("in1")
+    nl.add_primary_input("in2")
+    nl.add_gate("u1", "NAND2X1", ["in1", "in2"], "n1")
+    nl.add_gate("u2", "INVX1", ["n1"], "n2")
+    nl.add_gate("ff1", "DFFX1", ["n2"], "q1")
+    nl.add_gate("u3", "INVX1", ["q1"], "out")
+    nl.add_primary_output("out")
+    return nl
+
+
+class TestNetlistConstruction:
+    def test_counts(self):
+        nl = _tiny_netlist()
+        assert nl.n_gates == 4
+        assert nl.n_nets == 6
+        assert nl.primary_inputs == ["in1", "in2"]
+        assert nl.primary_outputs == ["out"]
+
+    def test_driver_and_sinks(self):
+        nl = _tiny_netlist()
+        assert nl.net("n1").driver == "u1"
+        assert nl.net("n1").sinks == [("u2", 0)]
+        assert nl.net("in1").is_primary_input
+
+    def test_fanin_fanout(self):
+        nl = _tiny_netlist()
+        assert nl.fanin_gates("u2") == ["u1"]
+        assert nl.fanout_gates("u1") == ["u2"]
+        assert nl.fanin_gates("u1") == []  # PIs are not gates
+
+    def test_duplicate_gate_rejected(self):
+        nl = _tiny_netlist()
+        with pytest.raises(NetlistError, match="declared twice"):
+            nl.add_gate("u1", "INVX1", ["n1"], "nx")
+
+    def test_multiple_drivers_rejected(self):
+        nl = _tiny_netlist()
+        with pytest.raises(NetlistError, match="multiple drivers"):
+            nl.add_gate("u9", "INVX1", ["n1"], "n2")
+
+    def test_driving_primary_input_rejected(self):
+        nl = _tiny_netlist()
+        with pytest.raises(NetlistError, match="multiple drivers"):
+            nl.add_gate("u9", "INVX1", ["n1"], "in1")
+
+    def test_master_histogram(self):
+        nl = _tiny_netlist()
+        assert nl.master_histogram() == {"NAND2X1": 1, "INVX1": 2, "DFFX1": 1}
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self, lib65):
+        _tiny_netlist().validate(lib65)
+
+    def test_wrong_pin_count(self, lib65):
+        nl = Netlist("bad")
+        nl.add_primary_input("a")
+        nl.add_gate("u1", "NAND2X1", ["a"], "y")
+        with pytest.raises(NetlistError, match="inputs"):
+            nl.validate(lib65)
+
+    def test_undriven_net(self, lib65):
+        nl = Netlist("bad")
+        nl.add_gate("u1", "INVX1", ["floating"], "y")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate(lib65)
+
+    def test_combinational_cycle_detected(self, lib65):
+        nl = Netlist("cyc")
+        nl.add_primary_input("a")
+        nl.add_gate("u1", "NAND2X1", ["a", "y2"], "y1")
+        nl.add_gate("u2", "INVX1", ["y1"], "y2")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.validate(lib65)
+
+    def test_ff_breaks_cycle(self, lib65):
+        """A loop through a flip-flop is sequential, not combinational."""
+        nl = Netlist("seqloop")
+        nl.add_primary_input("a")
+        nl.add_gate("u1", "NAND2X1", ["a", "q"], "d")
+        nl.add_gate("ff", "DFFX1", ["d"], "q")
+        nl.validate(lib65)  # must not raise
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, lib65):
+        nl = _tiny_netlist()
+        order = nl.topological_order(lib65)
+        pos = {name: i for i, name in enumerate(order)}
+        assert pos["u1"] < pos["u2"]
+        assert pos["ff1"] < pos["u3"]
+        assert len(order) == nl.n_gates
+
+    def test_ff_is_source(self, lib65):
+        nl = _tiny_netlist()
+        order = nl.topological_order(lib65)
+        # the FF doesn't wait for its D-input cone
+        assert set(order) == set(nl.gates)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", design_names())
+    def test_designs_validate(self, name):
+        d = make_design(name)
+        d.netlist.validate(d.library)  # full structural check
+        assert d.netlist.n_gates > 500
+        assert d.die_area > 0
+
+    def test_designs_are_deterministic(self):
+        a = make_design("AES-65")
+        b = make_design("AES-65")
+        assert list(a.netlist.gates) == list(b.netlist.gates)
+        assert a.netlist.master_histogram() == b.netlist.master_histogram()
+
+    def test_paper_density_is_respected(self):
+        """Cells per 5x5 um^2 grid ~6.3 at 65 nm, ~2.2 at 90 nm (Sec. V)."""
+        d65 = make_design("AES-65")
+        d90 = make_design("AES-90")
+        per_grid_65 = d65.netlist.n_gates / (d65.die_area / 25.0)
+        per_grid_90 = d90.netlist.n_gates / (d90.die_area / 25.0)
+        assert 5.0 < per_grid_65 < 8.0
+        assert 1.8 < per_grid_90 < 2.8
+
+    def test_designs_have_sequential_cells(self, lib65):
+        d = make_design("AES-65")
+        hist = d.netlist.master_histogram()
+        n_seq = sum(
+            n for m, n in hist.items() if d.library.cell(m).is_sequential
+        )
+        assert n_seq > 100
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            make_design("DES-45")
+
+    def test_scale_grows_design(self):
+        small = make_design("AES-90")
+        big = make_design("AES-90", scale=1.4)
+        assert big.netlist.n_gates > small.netlist.n_gates
+
+    @settings(deadline=None, max_examples=5)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_aes_generator_valid_for_any_seed(self, seed):
+        lib = CellLibrary("65nm")
+        nl = generate_aes_like(n_lanes=4, n_rounds=1, sbox_depth=3,
+                               sbox_width=4, seed=seed)
+        nl = resize_for_fanout(nl, lib)
+        nl.validate(lib)
+
+    @settings(deadline=None, max_examples=5)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_jpeg_generator_valid_for_any_seed(self, seed):
+        lib = CellLibrary("65nm")
+        nl = generate_jpeg_like(n_channels=4, min_width=3, max_width=5,
+                                quant_depth=2, n_stages=1, seed=seed)
+        nl = resize_for_fanout(nl, lib)
+        nl.validate(lib)
+
+    def test_jpeg_width_validation(self):
+        with pytest.raises(ValueError, match="max_width"):
+            generate_jpeg_like(min_width=8, max_width=4)
+
+
+class TestResizeForFanout:
+    def test_high_fanout_gets_bigger_drive(self, lib65):
+        nl = Netlist("fo")
+        nl.add_primary_input("a")
+        nl.add_gate("drv", "INVX1", ["a"], "y")
+        for i in range(8):
+            nl.add_gate(f"ld{i}", "INVX1", ["y"], f"z{i}")
+        sized = resize_for_fanout(nl, lib65)
+        assert sized.gate("drv").master == "INVX4"
+        assert sized.gate("ld0").master == "INVX1"
+
+    def test_resize_preserves_structure(self, lib65):
+        nl = _tiny_netlist()
+        sized = resize_for_fanout(nl, lib65)
+        assert list(sized.gates) == list(nl.gates)
+        assert sized.gate("u1").inputs == nl.gate("u1").inputs
+        sized.validate(lib65)
+
+    def test_resize_respects_available_drives(self, lib65):
+        """FA only exists at X1; huge fanout must not invent FAX8."""
+        nl = Netlist("fa")
+        for p in ("a", "b", "c"):
+            nl.add_primary_input(p)
+        nl.add_gate("fa", "FAX1", ["a", "b", "c"], "y")
+        for i in range(20):
+            nl.add_gate(f"ld{i}", "INVX1", ["y"], f"z{i}")
+        sized = resize_for_fanout(nl, lib65)
+        assert sized.gate("fa").master == "FAX1"

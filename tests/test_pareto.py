@@ -1,0 +1,69 @@
+"""Tests for the timing-leakage trade-off sweep."""
+
+import pytest
+
+from repro.core import (
+    DesignContext,
+    ParetoPoint,
+    is_frontier_monotone,
+    knee_point,
+    tradeoff_curve,
+)
+from repro.netlist import make_design
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-65", scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def curve(ctx):
+    return tradeoff_curve(ctx, grid_size=10.0,
+                          budgets_pct=(-5.0, 0.0, 10.0, 25.0))
+
+
+class TestTradeoffCurve:
+    def test_point_count_and_order(self, curve):
+        assert len(curve) == 4
+        assert [p.budget_pct for p in curve] == [-5.0, 0.0, 10.0, 25.0]
+
+    def test_frontier_monotone(self, curve):
+        """Looser leakage budgets can only help MCT."""
+        assert is_frontier_monotone(curve, tol=5e-3)
+
+    def test_negative_budget_reduces_leakage(self, ctx, curve):
+        tight = curve[0]
+        assert tight.leakage < ctx.baseline_leakage * 1.005
+        # still improves timing a bit
+        assert tight.mct <= ctx.baseline.mct + 1e-9
+
+    def test_generous_budget_buys_speed(self, ctx, curve):
+        zero, generous = curve[1], curve[-1]
+        assert generous.mct < zero.mct
+        assert generous.leakage > zero.leakage
+
+    def test_budgets_roughly_respected(self, ctx, curve):
+        for p in curve:
+            # golden leakage within ~4 % of baseline beyond the budget
+            assert p.leakage <= ctx.baseline_leakage * (
+                1 + p.budget_pct / 100.0
+            ) * 1.04
+
+
+class TestKnee:
+    def test_knee_on_curve(self, curve):
+        knee = knee_point(curve)
+        assert knee in curve
+
+    def test_knee_needs_three_points(self):
+        pts = [
+            ParetoPoint(0, 1.0, 1.0, 0, 0),
+            ParetoPoint(1, 0.9, 1.1, 0, 0),
+        ]
+        with pytest.raises(ValueError, match="three points"):
+            knee_point(pts)
+
+    def test_degenerate_chord(self):
+        pts = [ParetoPoint(i, 1.0, 1.0, 0, 0) for i in range(3)]
+        assert knee_point(pts) is pts[0]

@@ -1,0 +1,151 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold regardless of input details -- the contracts
+the optimization relies on when it composes the substrates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DesignContext
+from repro.core.snap import SNAP_CEIL, SNAP_FLOOR, SNAP_NEAREST, snap_dose_map
+from repro.dosemap import DoseMap, GridPartition
+from repro.library import CellLibrary
+from repro.netlist import make_design
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-90", scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def lib65():
+    return CellLibrary("65nm")
+
+
+def _dose_maps(min_side=2, max_side=6):
+    """Hypothesis strategy: random feasible-range dose maps."""
+
+    @st.composite
+    def build(draw):
+        m = draw(st.integers(min_side, max_side))
+        n = draw(st.integers(min_side, max_side))
+        vals = draw(
+            st.lists(
+                st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+                min_size=m * n,
+                max_size=m * n,
+            )
+        )
+        part = GridPartition(width=n * 10.0, height=m * 10.0, g=10.0)
+        return DoseMap(part, values=np.array(vals).reshape(m, n))
+
+    return build()
+
+
+class TestSnapProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(_dose_maps())
+    def test_snap_idempotent(self, dm):
+        lib = CellLibrary("65nm")
+        once = snap_dose_map(dm, lib, SNAP_NEAREST)
+        twice = snap_dose_map(once, lib, SNAP_NEAREST)
+        assert np.array_equal(once.values, twice.values)
+
+    @settings(deadline=None, max_examples=30)
+    @given(_dose_maps())
+    def test_snap_orderings(self, dm):
+        """floor <= nearest <= ceil, all within half a step of input."""
+        lib = CellLibrary("65nm")
+        lo = snap_dose_map(dm, lib, SNAP_FLOOR).values
+        mid = snap_dose_map(dm, lib, SNAP_NEAREST).values
+        hi = snap_dose_map(dm, lib, SNAP_CEIL).values
+        assert np.all(lo <= mid + 1e-12)
+        assert np.all(mid <= hi + 1e-12)
+        assert np.max(np.abs(mid - dm.values)) <= 0.25 + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(_dose_maps())
+    def test_snap_preserves_feasibility_margin(self, dm):
+        """Snapping changes each grid by < one step, so a map feasible
+        with 0.5 % margin stays feasible after snapping."""
+        lib = CellLibrary("65nm")
+        snapped = snap_dose_map(dm, lib, SNAP_NEAREST)
+        assert snapped.range_violations(5.0) <= 1e-9
+        if dm.is_feasible(dose_range=5.0, smoothness=1.5):
+            assert snapped.is_feasible(dose_range=5.0, smoothness=2.0)
+
+
+class TestDoseMapProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(_dose_maps(), st.integers(1, 3), st.integers(1, 3))
+    def test_tiling_preserves_values_and_mean(self, dm, nx, ny):
+        big = dm.tiled(nx, ny)
+        assert big.values.shape == (dm.values.shape[0] * ny,
+                                    dm.values.shape[1] * nx)
+        assert big.values.mean() == pytest.approx(dm.values.mean())
+        m, n = dm.values.shape
+        for ty in range(ny):
+            for tx in range(nx):
+                tile = big.values[ty * m:(ty + 1) * m, tx * n:(tx + 1) * n]
+                assert np.array_equal(tile, dm.values)
+
+    @settings(deadline=None, max_examples=25)
+    @given(_dose_maps())
+    def test_flat_roundtrip(self, dm):
+        assert np.array_equal(dm.from_flat(dm.flat()).values, dm.values)
+
+    @settings(deadline=None, max_examples=25)
+    @given(_dose_maps(), st.floats(0.1, 10.0))
+    def test_smoothness_monotone_in_bound(self, dm, delta):
+        """A larger bound can only reduce the violation."""
+        assert dm.smoothness_violations(delta) >= dm.smoothness_violations(
+            delta + 1.0
+        )
+
+
+class TestSTAMonotonicity:
+    def test_mct_monotone_in_uniform_dose(self, ctx):
+        doses = [-4.0, -2.0, 0.0, 2.0, 4.0]
+        mcts = []
+        for d in doses:
+            gd = {g: (d, 0.0) for g in ctx.netlist.gates}
+            mcts.append(ctx.analyzer.analyze(doses=gd).mct)
+        assert all(b < a for a, b in zip(mcts, mcts[1:]))
+
+    def test_single_gate_dose_never_hurts_mct(self, ctx):
+        """Speeding up any one gate cannot increase the longest path."""
+        base = ctx.baseline.mct
+        import itertools
+
+        for g in itertools.islice(ctx.netlist.gates, 0, 60, 7):
+            res = ctx.analyzer.analyze(doses={g: (5.0, 0.0)})
+            assert res.mct <= base + 1e-9, g
+
+    def test_dose_superposition_bound(self, ctx):
+        """Dosing a region is at least as fast as dosing a subregion."""
+        gates = list(ctx.netlist.gates)
+        half = {g: (4.0, 0.0) for g in gates[: len(gates) // 2]}
+        full = {g: (4.0, 0.0) for g in gates}
+        mct_half = ctx.analyzer.analyze(doses=half).mct
+        mct_full = ctx.analyzer.analyze(doses=full).mct
+        assert mct_full <= mct_half + 1e-9
+
+
+class TestLibraryProperties:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        st.sampled_from(["INVX1", "NAND2X1", "NOR2X2", "XOR2X1", "DFFX1"]),
+        st.floats(min_value=-4.5, max_value=4.5),
+    )
+    def test_delay_leakage_tradeoff_everywhere(self, master, dose):
+        """At any dose, moving toward +dose is faster and leakier."""
+        lib = CellLibrary("65nm")
+        a = lib.characterized(master, lib.snap_dose(dose))
+        b = lib.characterized(master, lib.snap_dose(dose) + 0.5)
+        if b.dl_nm == a.dl_nm:  # clipped at the range edge
+            return
+        assert b.delay_at(0.05, 2.0) < a.delay_at(0.05, 2.0)
+        assert b.leakage_uw > a.leakage_uw

@@ -1,0 +1,52 @@
+"""Regression snapshot: pin headline metrics against drift.
+
+These values were recorded from a verified run of the full pipeline
+(see EXPERIMENTS.md).  Tolerances are loose enough to survive harmless
+numeric churn but tight enough to catch modeling or solver regressions.
+If an intentional model change shifts them, update the expectations and
+EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.core import DesignContext, optimize_dose_map
+from repro.netlist import make_design
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-65"))
+
+
+class TestBaselines:
+    def test_aes65_size(self, ctx):
+        assert ctx.netlist.n_gates == 2688
+
+    def test_aes65_baseline_mct(self, ctx):
+        assert ctx.baseline.mct == pytest.approx(4.054, abs=0.15)
+
+    def test_aes65_baseline_leakage(self, ctx):
+        assert ctx.baseline_leakage == pytest.approx(196.3, rel=0.05)
+
+
+class TestHeadlineResults:
+    def test_qcp_5um(self, ctx):
+        """Paper-shape anchor: QCP at 5 um gains several percent MCT at
+        near-zero leakage change."""
+        res = optimize_dose_map(ctx, 5.0, mode="qcp")
+        assert res.mct_improvement_pct == pytest.approx(7.8, abs=1.5)
+        assert abs(res.leakage_improvement_pct) < 2.5
+
+    def test_qp_5um(self, ctx):
+        res = optimize_dose_map(ctx, 5.0, mode="qp")
+        assert res.leakage_improvement_pct == pytest.approx(26.4, abs=4.0)
+        assert res.mct_improvement_pct > -0.3
+
+    def test_uniform_dose_endpoints(self, ctx):
+        """Table II anchors at +/-5 % dose."""
+        from repro.core import uniform_dose_sweep
+
+        lo, hi = uniform_dose_sweep(ctx, doses=[-5.0, 5.0])
+        assert lo.leakage_improvement_pct == pytest.approx(38.3, abs=3.0)
+        assert hi.mct_improvement_pct == pytest.approx(11.4, abs=2.0)
+        assert hi.leakage_improvement_pct == pytest.approx(-156.3, abs=15.0)

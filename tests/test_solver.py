@@ -1,0 +1,214 @@
+"""Unit tests for the QP/QCP solvers, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import minimize
+
+from repro.solver import STATUS_SOLVED, solve_qcp, solve_qp
+
+
+def _scipy_qp(P, q, A, l, u, x0):
+    """Dense reference solution via SLSQP."""
+    P = np.asarray(P.todense()) if sp.issparse(P) else np.asarray(P)
+    A = np.asarray(A.todense()) if sp.issparse(A) else np.asarray(A)
+
+    def f(x):
+        return 0.5 * x @ P @ x + q @ x
+
+    cons = []
+    for i in range(A.shape[0]):
+        row = A[i]
+        if np.isfinite(u[i]):
+            cons.append(
+                {"type": "ineq", "fun": lambda x, r=row, b=u[i]: b - r @ x}
+            )
+        if np.isfinite(l[i]):
+            cons.append(
+                {"type": "ineq", "fun": lambda x, r=row, b=l[i]: r @ x - b}
+            )
+    res = minimize(f, x0, constraints=cons, method="SLSQP",
+                   options={"maxiter": 500, "ftol": 1e-10})
+    return res.x, res.fun
+
+
+class TestQPBasics:
+    def test_unconstrained_minimum_inside_box(self):
+        P = sp.eye(2)
+        q = np.array([-0.3, -0.4])
+        A = sp.eye(2)
+        res = solve_qp(P, q, A, np.zeros(2), np.ones(2))
+        assert res.ok
+        assert np.allclose(res.x, [0.3, 0.4], atol=1e-4)
+
+    def test_active_box_constraint(self):
+        P = sp.eye(2)
+        q = np.array([-5.0, -5.0])
+        A = sp.eye(2)
+        res = solve_qp(P, q, A, np.zeros(2), np.ones(2))
+        assert res.ok
+        assert np.allclose(res.x, [1.0, 1.0], atol=1e-4)
+
+    def test_equality_constraint(self):
+        """min x1^2 + x2^2 s.t. x1 + x2 = 1 -> (0.5, 0.5)."""
+        P = 2 * sp.eye(2)
+        q = np.zeros(2)
+        A = sp.csc_matrix([[1.0, 1.0]])
+        res = solve_qp(P, q, A, np.array([1.0]), np.array([1.0]))
+        assert res.ok
+        assert np.allclose(res.x, [0.5, 0.5], atol=1e-4)
+
+    def test_semidefinite_p(self):
+        """P with a zero block (like arrival-time variables in DMopt)."""
+        P = sp.diags([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        A = sp.eye(2)
+        res = solve_qp(P, q, A, np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        assert res.ok
+        assert res.x[1] == pytest.approx(-1.0, abs=1e-4)  # pure LP direction
+
+    def test_one_sided_constraints(self):
+        P = sp.eye(1)
+        q = np.array([-10.0])
+        A = sp.eye(1)
+        res = solve_qp(P, q, A, np.array([-np.inf]), np.array([2.0]))
+        assert res.ok
+        assert res.x[0] == pytest.approx(2.0, abs=1e-4)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            solve_qp(sp.eye(2), np.zeros(3), sp.eye(2), np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="bounds"):
+            solve_qp(sp.eye(2), np.zeros(2), sp.eye(2), np.zeros(3), np.ones(2))
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError, match="l > u"):
+            solve_qp(sp.eye(1), np.zeros(1), sp.eye(1),
+                     np.array([2.0]), np.array([1.0]))
+
+    def test_warm_start_converges_faster(self):
+        rng = np.random.default_rng(3)
+        n = 30
+        M = rng.normal(size=(n, n))
+        P = sp.csc_matrix(M @ M.T + np.eye(n))
+        q = rng.normal(size=n)
+        A = sp.eye(n)
+        l, u = -np.ones(n), np.ones(n)
+        cold = solve_qp(P, q, A, l, u)
+        warm = solve_qp(P, q, A, l, u, x0=cold.x)
+        assert warm.ok
+        assert warm.iterations <= cold.iterations
+
+
+class TestQPAgainstScipy:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_strictly_convex(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 6, 10
+        M = rng.normal(size=(n, n))
+        P = M @ M.T + 0.5 * np.eye(n)
+        q = rng.normal(size=n)
+        A = rng.normal(size=(m, n))
+        # anchor the boxes on a known-feasible point so the random
+        # problem is guaranteed feasible even with m > n
+        x_feas = rng.normal(size=n)
+        center = A @ x_feas
+        l = center - rng.uniform(0.5, 2.0, size=m)
+        u = center + rng.uniform(0.5, 2.0, size=m)
+        res = solve_qp(sp.csc_matrix(P), q, sp.csc_matrix(A), l, u)
+        assert res.ok
+        x_ref, f_ref = _scipy_qp(P, q, A, l, u, x0=np.zeros(n))
+        f_ours = 0.5 * res.x @ P @ res.x + q @ res.x
+        assert f_ours <= f_ref + 1e-3 * (1 + abs(f_ref))
+        # and feasible
+        ax = A @ res.x
+        assert np.all(ax >= l - 1e-3) and np.all(ax <= u + 1e-3)
+
+    def test_badly_scaled_problem(self):
+        """Ruiz equilibration must handle 6 orders of magnitude spread."""
+        P = sp.diags([1e-4, 1e2])
+        q = np.array([1e-3, -1e3])
+        A = sp.csc_matrix([[1e3, 0.0], [0.0, 1e-2]])
+        l = np.array([-1e3, -1e-2])
+        u = np.array([1e3, 1e-2])
+        res = solve_qp(P, q, A, l, u)
+        assert res.ok
+        ax = A @ res.x
+        assert np.all(ax >= l - 1e-4) and np.all(ax <= u + 1e-4)
+
+
+class TestQCP:
+    def test_inactive_quadratic_constraint(self):
+        """Budget so loose the problem is an LP: lam stays 0."""
+        c = np.array([1.0, 1.0])
+        A = sp.eye(2)
+        res = solve_qcp(c, A, np.zeros(2), np.ones(2),
+                        sp.eye(2), np.zeros(2), s=100.0)
+        assert res.ok
+        assert res.info["lam"] == 0.0
+        assert np.allclose(res.x, [0.0, 0.0], atol=1e-4)
+
+    def test_active_quadratic_constraint(self):
+        """min -x1-x2, 0<=x<=2, x1^2+x2^2<=2 -> (1,1), obj -2."""
+        c = np.array([-1.0, -1.0])
+        A = sp.eye(2)
+        Q = 2.0 * sp.eye(2)
+        res = solve_qcp(c, A, np.zeros(2), np.full(2, 2.0), Q, np.zeros(2), 2.0)
+        assert res.ok
+        assert np.allclose(res.x, [1.0, 1.0], atol=5e-3)
+        assert res.obj == pytest.approx(-2.0, abs=1e-2)
+        assert res.info["quad"] <= 2.0 + 1e-3
+
+    def test_quadratic_with_linear_term(self):
+        """min -x, 0<=x<=10, (x-1)^2 <= 1 i.e. x^2/ -2x +0 <= 0 -> x=2."""
+        c = np.array([-1.0])
+        A = sp.eye(1)
+        Q = 2.0 * sp.eye(1)  # 1/2 x'Qx = x^2
+        g = np.array([-2.0])
+        res = solve_qcp(c, A, np.zeros(1), np.full(1, 10.0), Q, g, s=0.0)
+        assert res.ok
+        assert res.x[0] == pytest.approx(2.0, abs=5e-3)
+
+    def test_unattainable_budget_flagged(self):
+        """x >= 1 but x^2 <= 0.25 is infeasible."""
+        c = np.array([1.0])
+        A = sp.eye(1)
+        res = solve_qcp(c, A, np.array([1.0]), np.array([2.0]),
+                        2.0 * sp.eye(1), np.zeros(1), s=0.25)
+        assert not res.ok
+        assert "unattainable" in res.info.get("note", "")
+
+    @settings(deadline=None, max_examples=6)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_qcp_against_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        c = rng.normal(size=n)
+        A = np.eye(n)
+        l, u = -np.ones(n), np.ones(n)
+        Q = np.eye(n)
+        s = 0.5
+
+        res = solve_qcp(c, sp.csc_matrix(A), l, u, sp.csc_matrix(Q),
+                        np.zeros(n), s)
+
+        def f(x):
+            return c @ x
+
+        cons = [{"type": "ineq", "fun": lambda x: s - 0.5 * x @ x}]
+        ref = minimize(f, np.zeros(n), bounds=[(-1, 1)] * n,
+                       constraints=cons, method="SLSQP")
+        assert res.obj <= ref.fun + 1e-2 * (1 + abs(ref.fun))
+        assert 0.5 * res.x @ res.x <= s + 1e-3
+
+
+class TestResultAPI:
+    def test_repr_and_ok(self):
+        res = solve_qp(sp.eye(1), np.zeros(1), sp.eye(1),
+                       np.array([-1.0]), np.array([1.0]))
+        assert res.ok
+        assert res.status == STATUS_SOLVED
+        assert "solved" in repr(res)
+        assert res.solve_time >= 0.0

@@ -1,0 +1,120 @@
+"""Tests for the first-order SSTA engine (validated against Monte Carlo)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DesignContext, optimize_dose_map
+from repro.netlist import make_design
+from repro.variation import (
+    SSTA,
+    CanonicalDelay,
+    TimingMonteCarlo,
+    VariationModel,
+    clark_max,
+    ssta_timing_yield,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-65", scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return VariationModel(
+        sigma_random_nm=1.0, sigma_systematic_nm=1.0,
+        correlation_grid_um=20.0, seed=21,
+    )
+
+
+class TestCanonicalAlgebra:
+    def _cv(self, mean, sens, rand):
+        return CanonicalDelay(mean, np.array(sens, dtype=float), rand)
+
+    def test_variance(self):
+        c = self._cv(1.0, [0.3, 0.4], 0.5)
+        assert c.variance == pytest.approx(0.09 + 0.16 + 0.25)
+        assert c.sigma == pytest.approx(math.sqrt(0.5))
+
+    def test_plus_exact(self):
+        a = self._cv(1.0, [0.3, 0.0], 0.4)
+        b = self._cv(2.0, [0.1, 0.2], 0.3)
+        s = a.plus(b)
+        assert s.mean == 3.0
+        assert np.allclose(s.sens, [0.4, 0.2])
+        assert s.rand == pytest.approx(0.5)
+
+    def test_clark_max_dominant(self):
+        """When A >> B, max(A, B) ~ A."""
+        a = self._cv(10.0, [0.1, 0.0], 0.1)
+        b = self._cv(1.0, [0.0, 0.1], 0.1)
+        m = clark_max(a, b)
+        assert m.mean == pytest.approx(10.0, abs=1e-6)
+        assert np.allclose(m.sens, a.sens, atol=1e-6)
+
+    def test_clark_max_symmetric_against_mc(self):
+        """Equal-mean case vs brute-force sampling."""
+        a = self._cv(1.0, [0.2, 0.0], 0.1)
+        b = self._cv(1.0, [0.0, 0.2], 0.1)
+        m = clark_max(a, b)
+        rng = np.random.default_rng(0)
+        n = 200_000
+        x = rng.standard_normal((n, 2))
+        ra, rb = rng.standard_normal(n), rng.standard_normal(n)
+        sa = 1.0 + x @ np.array([0.2, 0.0]) + 0.1 * ra
+        sb = 1.0 + x @ np.array([0.0, 0.2]) + 0.1 * rb
+        samples = np.maximum(sa, sb)
+        assert m.mean == pytest.approx(samples.mean(), abs=5e-3)
+        assert m.sigma == pytest.approx(samples.std(), rel=0.05)
+
+    def test_max_of_identical_is_identity(self):
+        a = self._cv(1.0, [0.3], 0.0)
+        m = clark_max(a, a)
+        assert m.mean == pytest.approx(a.mean, abs=1e-9)
+        assert m.sigma == pytest.approx(a.sigma, rel=1e-6)
+
+
+class TestSSTAEngine:
+    def test_mean_anchors_to_golden(self, ctx, model):
+        mct = SSTA(ctx, model).analyze()
+        # Clark max inflates the mean slightly above the deterministic
+        # MCT (max of random variables >= max of means)
+        assert mct.mean >= ctx.baseline.mct * 0.98
+        assert mct.mean <= ctx.baseline.mct * 1.10
+        assert mct.sigma > 0
+
+    def test_matches_monte_carlo(self, ctx, model):
+        """SSTA mean/sigma within ~10 % of a 400-sample MC."""
+        ssta_mct = SSTA(ctx, model).analyze()
+        tmc = TimingMonteCarlo(ctx)
+        samples = tmc.mct_samples(tmc.sample_dl(model, 400))
+        assert ssta_mct.mean == pytest.approx(samples.mean(), rel=0.05)
+        assert ssta_mct.sigma == pytest.approx(samples.std(), rel=0.35)
+
+    def test_more_variation_more_sigma(self, ctx):
+        small = SSTA(ctx, VariationModel(0.5, 0.5, 20.0)).analyze()
+        large = SSTA(ctx, VariationModel(2.0, 2.0, 20.0)).analyze()
+        assert large.sigma > small.sigma
+
+    def test_dose_map_improves_ssta_yield(self, ctx, model):
+        res = optimize_dose_map(ctx, 10.0, mode="qcp")
+        base = SSTA(ctx, model).analyze()
+        opt = SSTA(ctx, model).analyze(dose_map=res.dose_map_poly)
+        target = ctx.baseline.mct
+        assert ssta_timing_yield(opt, target) > ssta_timing_yield(base, target)
+
+    def test_yield_bounds(self):
+        c = CanonicalDelay(1.0, np.array([0.1]), 0.0)
+        assert ssta_timing_yield(c, 10.0) > 0.999
+        assert ssta_timing_yield(c, 0.0) < 0.001
+        det = CanonicalDelay(1.0, np.zeros(1), 0.0)
+        assert ssta_timing_yield(det, 1.0) == 1.0
+        assert ssta_timing_yield(det, 0.5) == 0.0
+
+    def test_quantile(self):
+        c = CanonicalDelay(1.0, np.array([0.0]), 2.0)
+        assert c.quantile(0.5) == pytest.approx(1.0)
+        assert c.quantile(0.8413) == pytest.approx(3.0, abs=1e-2)

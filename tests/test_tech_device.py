@@ -1,0 +1,184 @@
+"""Unit tests for the analytical device models (repro.tech)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech import (
+    device,
+    get_node,
+    tech_65nm,
+    tech_90nm,
+)
+
+
+@pytest.fixture(params=["65nm", "90nm"])
+def node(request):
+    return get_node(request.param)
+
+
+class TestNode:
+    def test_get_node_roundtrip(self):
+        assert get_node("65nm").name == "65nm"
+        assert get_node("90nm").name == "90nm"
+
+    def test_get_node_unknown(self):
+        with pytest.raises(KeyError, match="unknown technology node"):
+            get_node("45nm")
+
+    def test_nominal_lengths(self):
+        assert tech_65nm().l_nominal == 65.0
+        assert tech_90nm().l_nominal == 90.0
+
+    def test_vth_rolloff_monotone(self, node):
+        """Vth decreases monotonically as L shrinks (short-channel effect)."""
+        lengths = np.linspace(node.l_nominal - 10, node.l_nominal + 10, 21)
+        vth = node.vth(lengths)
+        assert np.all(np.diff(vth) > 0)
+
+    def test_vth_at_nominal(self, node):
+        assert node.vth(node.l_nominal) == pytest.approx(node.vth0 - node.dibl_v0)
+
+    def test_device_turns_on(self, node):
+        """Vdd must exceed Vth over the whole +/-10 nm modulation range."""
+        lengths = np.linspace(node.l_nominal - 10, node.l_nominal + 10, 21)
+        assert np.all(node.vth(lengths) < node.vdd)
+
+
+class TestDelayModel:
+    def test_delay_increases_with_length(self, node):
+        lengths = np.linspace(node.l_nominal - 10, node.l_nominal + 10, 41)
+        d = device.stage_delay(node, lengths, 400.0, 2.0)
+        assert np.all(np.diff(d) > 0)
+
+    def test_delay_decreases_with_width(self, node):
+        widths = np.linspace(300.0, 600.0, 31)
+        d = device.stage_delay(node, node.l_nominal, widths, 2.0)
+        assert np.all(np.diff(d) < 0)
+
+    def test_delay_approximately_linear_in_length(self, node):
+        """Paper Fig. 3: delay ~linear in L near nominal.
+
+        Check the residual of a linear fit is under 2 % of the delay swing.
+        """
+        lengths = np.linspace(node.l_nominal - 10, node.l_nominal + 10, 21)
+        d = device.stage_delay(node, lengths, 400.0, 2.0)
+        coeffs = np.polyfit(lengths, d, 1)
+        resid = d - np.polyval(coeffs, lengths)
+        assert np.max(np.abs(resid)) < 0.02 * (d.max() - d.min())
+
+    def test_delay_increases_with_load(self, node):
+        loads = np.linspace(0.5, 10.0, 20)
+        d = device.stage_delay(node, node.l_nominal, 400.0, loads)
+        assert np.all(np.diff(d) > 0)
+
+    def test_delay_increases_with_input_slew(self, node):
+        d0 = device.stage_delay(node, node.l_nominal, 400.0, 2.0, input_slew_ns=0.0)
+        d1 = device.stage_delay(node, node.l_nominal, 400.0, 2.0, input_slew_ns=0.2)
+        assert d1 > d0
+
+    def test_stack_scales_resistance(self, node):
+        r1 = device.on_resistance(node, node.l_nominal, 400.0)
+        d1 = device.stage_delay(node, node.l_nominal, 400.0, 2.0, stack=1.0)
+        d2 = device.stage_delay(node, node.l_nominal, 400.0, 2.0, stack=2.0)
+        assert d2 > d1
+        assert r1 > 0
+
+    def test_output_slew_positive_and_load_monotone(self, node):
+        loads = np.linspace(0.5, 10.0, 10)
+        s = device.output_slew(node, node.l_nominal, 400.0, loads)
+        assert np.all(s > 0)
+        assert np.all(np.diff(s) > 0)
+
+    def test_invalid_geometry_raises(self, node):
+        with pytest.raises(ValueError):
+            device.on_resistance(node, -1.0, 400.0)
+        with pytest.raises(ValueError):
+            device.on_resistance(node, node.l_nominal, 0.0)
+
+
+class TestLeakageModel:
+    def test_leakage_exponential_in_length(self, node):
+        """Paper Fig. 5: log(leakage) ~linear in L."""
+        lengths = np.linspace(node.l_nominal - 10, node.l_nominal + 10, 21)
+        leak = device.leakage_power(node, lengths, 400.0)
+        assert np.all(np.diff(leak) < 0)  # longer gate -> less leakage
+        log_leak = np.log(leak)
+        coeffs = np.polyfit(lengths, log_leak, 1)
+        resid = log_leak - np.polyval(coeffs, lengths)
+        # Not exactly log-linear (the Vth roll-off is itself exponential),
+        # but close on this window.
+        assert np.max(np.abs(resid)) < 0.15 * (log_leak.max() - log_leak.min())
+        # And strongly super-linear in plain scale: the quadratic term of a
+        # 2nd-order fit must be significant (paper approximates it as
+        # quadratic for exactly this reason).
+        quad = np.polyfit(lengths, leak, 2)
+        assert quad[0] > 0
+
+    def test_leakage_linear_in_width(self, node):
+        """Paper Fig. 6: leakage exactly linear in W in this model."""
+        widths = np.linspace(300.0, 600.0, 31)
+        leak = device.leakage_power(node, node.l_nominal, widths)
+        coeffs = np.polyfit(widths, leak, 1)
+        assert np.allclose(leak, np.polyval(coeffs, widths), rtol=1e-12)
+        assert coeffs[0] > 0
+
+    def test_leakage_stack_reduction(self, node):
+        i1 = device.leakage_current(node, node.l_nominal, 400.0, stack=1.0)
+        i2 = device.leakage_current(node, node.l_nominal, 400.0, stack=2.0)
+        assert i2 == pytest.approx(i1 / 2.0)
+
+    def test_leakage_power_is_current_times_vdd(self, node):
+        i = device.leakage_current(node, node.l_nominal, 400.0)
+        p = device.leakage_power(node, node.l_nominal, 400.0)
+        assert p == pytest.approx(i * node.vdd)
+
+    def test_paper_table2_leakage_ratio_65nm(self):
+        """Calibration target: +5 % dose multiplies 65 nm leakage ~2.55x
+        and -5 % dose multiplies it ~0.62x (Table II end columns)."""
+        node = tech_65nm()
+        base = device.leakage_power(node, 65.0, 400.0)
+        up = device.leakage_power(node, 55.0, 400.0)  # +5 % dose, Ds=-2
+        down = device.leakage_power(node, 75.0, 400.0)
+        assert up / base == pytest.approx(2.55, rel=0.05)
+        assert down / base == pytest.approx(0.62, rel=0.05)
+
+    def test_paper_table3_leakage_ratio_90nm(self):
+        """Calibration target: Table III end columns (~1.90x / ~0.70x)."""
+        node = tech_90nm()
+        base = device.leakage_power(node, 90.0, 500.0)
+        up = device.leakage_power(node, 80.0, 500.0)
+        down = device.leakage_power(node, 100.0, 500.0)
+        assert up / base == pytest.approx(1.90, rel=0.05)
+        assert down / base == pytest.approx(0.70, rel=0.05)
+
+
+class TestDoseConversion:
+    def test_dose_to_delta_cd_sign(self):
+        """Increasing dose shrinks CD (negative sensitivity)."""
+        assert device.dose_to_delta_cd(5.0, -2.0) == -10.0
+        assert device.dose_to_delta_cd(-5.0, -2.0) == 10.0
+
+    @given(st.floats(-5, 5), st.floats(-3, -0.5))
+    def test_dose_to_delta_cd_linear(self, dose, ds):
+        assert device.dose_to_delta_cd(dose, ds) == pytest.approx(dose * ds)
+
+
+class TestVectorization:
+    @given(
+        st.lists(st.floats(min_value=55.0, max_value=110.0), min_size=1, max_size=8)
+    )
+    def test_delay_vectorized_matches_scalar(self, lengths):
+        node = tech_65nm()
+        vec = device.stage_delay(node, np.array(lengths), 400.0, 2.0)
+        scl = [float(device.stage_delay(node, l, 400.0, 2.0)) for l in lengths]
+        assert np.allclose(vec, scl)
+
+    @given(
+        st.lists(st.floats(min_value=200.0, max_value=900.0), min_size=1, max_size=8)
+    )
+    def test_leakage_vectorized_matches_scalar(self, widths):
+        node = tech_90nm()
+        vec = device.leakage_power(node, node.l_nominal, np.array(widths))
+        scl = [float(device.leakage_power(node, node.l_nominal, w)) for w in widths]
+        assert np.allclose(vec, scl)

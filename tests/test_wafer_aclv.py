@@ -1,0 +1,147 @@
+"""Tests for the wafer-level extension and the ACLV-uniformity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DesignContext
+from repro.dosemap import (
+    GridPartition,
+    aclv_nm,
+    optimize_cd_uniformity,
+    systematic_cd_error_map,
+)
+from repro.netlist import make_design
+from repro.wafer import DieSite, Wafer, equalize_wafer_timing
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return DesignContext(make_design("AES-65", scale=0.25))
+
+
+class TestWaferModel:
+    def test_die_count_positive(self):
+        wafer = Wafer()
+        assert wafer.n_dies > 10
+
+    def test_dies_inside_radius(self):
+        wafer = Wafer(radius_mm=100.0, die_w_mm=25.0, die_h_mm=25.0)
+        for site in wafer.sites:
+            # die corners must be inside the usable radius
+            corner = np.hypot(
+                abs(site.x_mm) + 12.5, abs(site.y_mm) + 12.5
+            )
+            assert corner <= 100.0 + 1e-9
+
+    def test_radial_bias_grows_outward(self):
+        wafer = Wafer(random_cd_sigma_nm=0.0)
+        center = min(wafer.sites, key=DieSite.radius_mm)
+        edge = max(wafer.sites, key=DieSite.radius_mm)
+        assert wafer.cd_bias_nm(edge) > wafer.cd_bias_nm(center)
+
+    def test_bias_vector_matches_sites(self):
+        wafer = Wafer()
+        vec = wafer.cd_bias_vector()
+        assert vec.shape == (wafer.n_dies,)
+        assert vec[0] == pytest.approx(wafer.cd_bias_nm(wafer.sites[0]))
+
+    def test_invalid_wafer(self):
+        with pytest.raises(ValueError):
+            Wafer(radius_mm=-1.0)
+        with pytest.raises(ValueError, match="no die"):
+            Wafer(radius_mm=5.0, die_w_mm=50.0, die_h_mm=50.0)
+
+    def test_deterministic(self):
+        a = Wafer(seed=3).cd_bias_vector()
+        b = Wafer(seed=3).cd_bias_vector()
+        assert np.array_equal(a, b)
+
+
+class TestWaferEqualization:
+    def test_spread_shrinks(self, ctx):
+        wafer = Wafer(radial_cd_bias_nm=4.0)
+        res = equalize_wafer_timing(ctx, wafer)
+        assert res.spread_after < 0.5 * res.spread_before
+        assert res.sigma_after < res.sigma_before
+
+    def test_timing_yield_improves(self, ctx):
+        wafer = Wafer(radial_cd_bias_nm=4.0)
+        res = equalize_wafer_timing(ctx, wafer)
+        target = ctx.baseline.mct * 1.01
+        assert res.timing_yield(target) >= res.timing_yield(target, after=False)
+        assert res.timing_yield(target) > 0.9
+
+    def test_positive_target_trades_leakage_for_speed(self, ctx):
+        wafer = Wafer(radial_cd_bias_nm=4.0)
+        nominal = equalize_wafer_timing(ctx, wafer, target_dose=0.0)
+        fast = equalize_wafer_timing(ctx, wafer, target_dose=2.0)
+        assert fast.mct_after.max() < nominal.mct_after.max()
+        assert fast.leakage_after > nominal.leakage_after
+
+    def test_offsets_respect_range(self, ctx):
+        wafer = Wafer(radial_cd_bias_nm=20.0)  # larger than correctable
+        res = equalize_wafer_timing(ctx, wafer, dose_range=5.0)
+        assert np.all(np.abs(res.offsets) <= 5.0 + 1e-12)
+        # uncorrectable residue remains
+        assert res.spread_after > 0
+
+
+class TestACLVBaseline:
+    def _partition(self):
+        return GridPartition(width=100.0, height=80.0, g=10.0)
+
+    def test_synthetic_map_has_radial_shape(self):
+        part = self._partition()
+        cd = systematic_cd_error_map(part, radial_nm=3.0, noise_nm=0.0)
+        center = cd[part.m // 2, part.n // 2]
+        corner = cd[0, 0]
+        assert corner > center
+
+    def test_uniformity_optimization_reduces_aclv(self):
+        part = self._partition()
+        cd = systematic_cd_error_map(part)
+        dm = optimize_cd_uniformity(cd, part)
+        before = aclv_nm(cd)
+        after = aclv_nm(cd, dm)
+        assert after < 0.5 * before
+
+    def test_correction_map_is_feasible(self):
+        part = self._partition()
+        cd = systematic_cd_error_map(part)
+        dm = optimize_cd_uniformity(cd, part)
+        assert dm.is_feasible(tol=1e-4)
+
+    def test_positive_cd_error_gets_positive_dose(self):
+        """Too-wide lines (positive error) need more dose (Ds < 0)."""
+        part = GridPartition(width=30.0, height=30.0, g=10.0)
+        cd = np.full((part.m, part.n), 2.0)
+        dm = optimize_cd_uniformity(cd, part)
+        assert np.all(dm.values > 0.5)
+
+    def test_shape_validation(self):
+        part = self._partition()
+        with pytest.raises(ValueError, match="shape"):
+            optimize_cd_uniformity(np.zeros((2, 2)), part)
+
+    def test_uncorrectable_map_clips_at_range(self):
+        part = GridPartition(width=30.0, height=30.0, g=10.0)
+        cd = np.full((part.m, part.n), 50.0)  # needs +25 % dose
+        dm = optimize_cd_uniformity(cd, part, dose_range=5.0)
+        assert np.all(dm.values <= 5.0 + 1e-6)
+        assert aclv_nm(cd, dm) == pytest.approx(aclv_nm(cd), abs=1e-6)
+
+    def test_design_aware_beats_uniformity_for_timing(self, ctx):
+        """The paper's thesis: CD-flat is not timing-optimal.  A
+        design-aware QCP map must beat the ACLV-optimal (flat) map on
+        MCT at equal-or-better leakage discipline."""
+        from repro.core import optimize_dose_map
+        from repro.dosemap import DoseMap
+
+        part = GridPartition(
+            ctx.placement.die.width, ctx.placement.die.height, 10.0
+        )
+        # with zero incoming CD error the ACLV-optimal map is all-zero
+        flat = optimize_cd_uniformity(np.zeros((part.m, part.n)), part)
+        res_flat, _ = ctx.golden_eval(DoseMap(part, values=flat.values))
+        design_aware = optimize_dose_map(ctx, 10.0, mode="qcp")
+        assert design_aware.mct < res_flat.mct
