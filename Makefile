@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-paper experiments examples lint clean
 
 install:
 	pip install -e .[test]
@@ -6,7 +6,15 @@ install:
 test:
 	pytest tests/ -q
 
+# Regenerate BENCH_sta.json (STA engine perf: full / incremental / dosePl e2e)
 bench:
+	PYTHONPATH=src python benchmarks/bench_sta.py
+
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_sta.py --smoke
+
+# Paper-reproduction benchmark suite (tables/figures timings)
+bench-paper:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -12,7 +12,7 @@ from repro.fitting import DelayFitter, LeakageFitter
 from repro.netlist.designs import DesignBundle, make_design
 from repro.placement import place_design
 from repro.power import total_leakage
-from repro.sta import TimingAnalyzer
+from repro.sta import make_analyzer
 
 
 class DesignContext:
@@ -29,10 +29,13 @@ class DesignContext:
     fit_width:
         When True, delay/leakage coefficients are fitted over the 2-D
         (dL, dW) variant space (needed for both-layer optimization).
+    sta_backend:
+        STA engine name ("vector" | "reference"); defaults to the
+        session-wide :data:`repro.sta.DEFAULT_STA_BACKEND`.
     """
 
     def __init__(self, bundle, placement=None, fit_width: bool = False,
-                 seed: int = 7):
+                 seed: int = 7, sta_backend: str = None):
         if isinstance(bundle, str):
             bundle = make_design(bundle)
         if not isinstance(bundle, DesignBundle):
@@ -43,7 +46,10 @@ class DesignContext:
         self.placement = placement if placement is not None else place_design(
             bundle, seed=seed
         )
-        self.analyzer = TimingAnalyzer(self.netlist, self.library, self.placement)
+        self.sta_backend = sta_backend
+        self.analyzer = make_analyzer(
+            self.netlist, self.library, self.placement, backend=sta_backend
+        )
         #: Golden STA at nominal dose.
         self.baseline = self.analyzer.analyze()
         #: Golden total leakage (uW) at nominal dose.
@@ -99,13 +105,35 @@ class DesignContext:
         linear/quadratic approximations.
         """
         doses = self.gate_doses(dose_map_poly, dose_map_active, placement, snap)
-        if placement is not None and placement is not self.placement:
-            analyzer = TimingAnalyzer(self.netlist, self.library, placement)
-        else:
-            analyzer = self.analyzer
+        analyzer = self.analyzer_for(placement)
         result = analyzer.analyze(doses=doses)
         leak = total_leakage(self.netlist, self.library, doses)
         return result, leak
+
+    def analyzer_for(self, placement=None):
+        """An STA engine bound to ``placement`` (the context's by default).
+
+        With the vector backend the compiled timing graph is shared, so
+        binding a trial placement costs only a geometry rebuild.
+        """
+        if placement is None or placement is self.placement:
+            return self.analyzer
+        if hasattr(self.analyzer, "rebind"):
+            return self.analyzer.rebind(placement)
+        return make_analyzer(
+            self.netlist, self.library, placement, backend=self.sta_backend
+        )
+
+    def trial_timer(self, placement):
+        """Incremental trial timer for a mutable candidate placement.
+
+        Returns an analyzer bound to ``placement`` whose cached state
+        supports ``update_placement`` + ``trial_mct`` (vector backend),
+        or ``None`` when the active backend cannot re-time
+        incrementally -- callers then skip per-swap trial filtering.
+        """
+        eng = self.analyzer_for(placement)
+        return eng if hasattr(eng, "trial_mct") else None
 
     def __repr__(self):
         return (

@@ -183,9 +183,7 @@ def fig10_slack_profiles(design: str = "AES-65", grid_size: float = 5.0,
         doses=ctx.gate_doses(qcp.dose_map_poly), clock_period=period
     )
     dp = run_dosepl(ctx, qcp.dose_map_poly)
-    from repro.sta import TimingAnalyzer
-
-    dp_analyzer = TimingAnalyzer(ctx.netlist, ctx.library, dp.placement)
+    dp_analyzer = ctx.analyzer_for(dp.placement)
     dosepl = dp_analyzer.analyze(
         doses=ctx.gate_doses(qcp.dose_map_poly, placement=dp.placement),
         clock_period=period,

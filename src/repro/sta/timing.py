@@ -25,6 +25,18 @@ DEFAULT_INPUT_SLEW = 0.05
 DEFAULT_PO_LOAD = 2.0
 
 
+def beats_worst_pin(arr, slew, best_arr, best_slew) -> bool:
+    """Deterministic worst-pin order: lexicographic max on (arrival, slew).
+
+    The critical input of a gate is the latest-arriving pin; among pins
+    with *exactly* equal arrival the larger slew wins.  Every STA backend
+    must implement this precise ordering (the vectorized engine mirrors
+    it in :func:`repro.sta.compiled.lex_max_reduce`), otherwise
+    equal-arrival pins would make gate delays backend-dependent.
+    """
+    return arr > best_arr or (arr == best_arr and slew > best_slew)
+
+
 @dataclass
 class TimingResult:
     """Result of one STA pass.
@@ -94,6 +106,11 @@ class TimingAnalyzer:
             name: library.cell(g.master).is_sequential
             for name, g in netlist.gates.items()
         }
+        self._nominal_loads = None
+
+    def invalidate_caches(self) -> None:
+        """Drop cached nominal net loads (call after moving cells)."""
+        self._nominal_loads = None
 
     # ------------------------------------------------------------------
     def _variant(self, gate_name: str, doses):
@@ -105,7 +122,14 @@ class TimingAnalyzer:
         return self.library.characterized(master, dp, da)
 
     def _net_loads(self, doses):
-        """Capacitive load (fF) per net: wire + sink pins (+ PO load)."""
+        """Capacitive load (fF) per net: wire + sink pins (+ PO load).
+
+        The nominal (``doses is None``) loads depend only on geometry and
+        the zero-dose library, so they are computed once per analyzer and
+        reused across calls (``invalidate_caches`` resets them).
+        """
+        if doses is None and self._nominal_loads is not None:
+            return self._nominal_loads
         loads = {}
         for net_name, net in self.netlist.nets.items():
             length = (
@@ -122,6 +146,8 @@ class TimingAnalyzer:
             if net.is_primary_output:
                 cap += self.po_load
             loads[net_name] = cap
+        if doses is None:
+            self._nominal_loads = loads
         return loads
 
     # ------------------------------------------------------------------
@@ -140,6 +166,17 @@ class TimingAnalyzer:
         nl, place, node = self.netlist, self.placement, self.node
         loads = self._net_loads(doses)
 
+        # One characterized-cell fetch per gate per call: the endpoint
+        # and backward passes revisit sequential cells already resolved
+        # in the forward pass.
+        variants: dict = {}
+
+        def variant(name):
+            cc = variants.get(name)
+            if cc is None:
+                cc = variants[name] = self._variant(name, doses)
+            return cc
+
         arrival: dict = {}
         out_slew: dict = {}
         gate_delay: dict = {}
@@ -150,7 +187,7 @@ class TimingAnalyzer:
 
         for name in self._order:
             gate = nl.gates[name]
-            cc = self._variant(name, doses)
+            cc = variant(name)
             load = loads[gate.output]
             load_used[name] = load
             if self._is_seq[name]:
@@ -174,7 +211,7 @@ class TimingAnalyzer:
                     wd = arc_wire_delay(nl, place, drv, name, cc.input_cap_ff, node)
                     wire_delay[(drv, name)] = wd
                     arr, slew = arrival[drv] + wd, out_slew[drv]
-                if arr > best_arr or (arr == best_arr and slew > best_slew):
+                if beats_worst_pin(arr, slew, best_arr, best_slew):
                     best_arr, best_slew = arr, slew
             delay = cc.delay_at(best_slew, load)
             gate_delay[name] = delay
@@ -193,7 +230,7 @@ class TimingAnalyzer:
             if not self._is_seq[name]:
                 continue
             gate = nl.gates[name]
-            cc = self._variant(name, doses)
+            cc = variant(name)
             for net_name in gate.inputs:
                 net = nl.nets[net_name]
                 if net.driver is None:
@@ -218,7 +255,7 @@ class TimingAnalyzer:
             for succ in nl.fanout_gates(name):
                 wd = wire_delay.get((name, succ), 0.0)
                 if self._is_seq[succ]:
-                    setup = self._variant(succ, doses).setup_ns
+                    setup = variant(succ).setup_ns
                     required[name] = min(required[name], period - setup - wd)
                 else:
                     required[name] = min(

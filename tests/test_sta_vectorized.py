@@ -1,0 +1,361 @@
+"""Differential and property tests: vector STA engine vs the reference.
+
+The compiled engine (:mod:`repro.sta.compiled`) must be numerically
+indistinguishable from the per-gate dict engine -- same arrivals, slacks,
+MCT, slews, loads, wire delays, endpoint labels -- for any design, dose
+assignment, and placement-mutation history.  These tests pin that down
+with fixed designs, hypothesis-randomized DAGs, and random swap
+sequences against from-scratch re-analysis.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.library import CellLibrary
+from repro.netlist import Netlist, make_design
+from repro.placement import Die, Placement, place_design
+import numpy as np
+
+from repro.sta import (
+    DEFAULT_STA_BACKEND,
+    TimingAnalyzer,
+    VectorTimingAnalyzer,
+    make_analyzer,
+)
+from repro.sta.compiled import CompiledTimingGraph, lex_max_reduce
+from repro.sta.timing import beats_worst_pin
+
+ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def lib65():
+    return CellLibrary("65nm")
+
+
+def assert_equivalent(ref_res, vec_res, atol=ATOL):
+    """Field-by-field equality of two TimingResult objects."""
+    assert vec_res.mct == pytest.approx(ref_res.mct, abs=atol)
+    for field in ("arrival", "slack", "gate_delay", "input_slew", "load"):
+        r, v = getattr(ref_res, field), getattr(vec_res, field)
+        assert set(r) == set(v)
+        for k in r:
+            assert v[k] == pytest.approx(r[k], abs=atol), (field, k)
+    assert set(ref_res.wire_delay) == set(vec_res.wire_delay)
+    for k in ref_res.wire_delay:
+        assert vec_res.wire_delay[k] == pytest.approx(
+            ref_res.wire_delay[k], abs=atol
+        ), ("wire_delay", k)
+    assert set(ref_res.endpoint_arrival) == set(vec_res.endpoint_arrival)
+    for k in ref_res.endpoint_arrival:
+        assert vec_res.endpoint_arrival[k] == pytest.approx(
+            ref_res.endpoint_arrival[k], abs=atol
+        ), ("endpoint", k)
+
+
+def random_doses(netlist, library, seed, fraction=1.0):
+    rng = random.Random(seed)
+    gates = list(netlist.gates)
+    if fraction < 1.0:
+        gates = gates[:: max(1, int(1 / fraction))]
+    return {
+        g: (
+            library.snap_dose(rng.uniform(-6.0, 6.0)),
+            library.snap_dose(rng.uniform(-6.0, 6.0)),
+        )
+        for g in gates
+    }
+
+
+def random_dag(seed, n_gates, lib):
+    """A random placed DAG mixing combinational and sequential cells."""
+    rng = random.Random(seed)
+    comb = ["INVX1", "INVX2", "NAND2X1", "NOR2X1", "BUFX1"]
+    comb = [m for m in comb if m in lib.masters]
+    seq = lib.sequential_names[:1]
+    nl = Netlist(f"rand{seed}")
+    nl.add_primary_input("pi0")
+    nl.add_primary_input("pi1")
+    nets = ["pi0", "pi1"]
+    for i in range(n_gates):
+        out = f"n{i}"
+        if seq and rng.random() < 0.15:
+            nl.add_gate(f"g{i}", seq[0], [rng.choice(nets)], out)
+        else:
+            master = rng.choice(comb)
+            n_in = 2 if ("NAND" in master or "NOR" in master) else 1
+            ins = [rng.choice(nets) for _ in range(n_in)]
+            nl.add_gate(f"g{i}", master, ins, out)
+        nets.append(out)
+    # every sink-less net becomes a primary output
+    for name, net in nl.nets.items():
+        if not net.sinks and not net.is_primary_input:
+            nl.add_primary_output(name)
+    die = Die(width=60.0, height=10.8, row_height=1.8, site_width=0.2)
+    pl = Placement(die)
+    for i, g in enumerate(nl.gates):
+        if rng.random() < 0.9:  # leave some cells unplaced
+            pl.place(g, round(rng.uniform(0, 58.0), 1),
+                     1.8 * rng.randrange(6))
+    return nl, pl
+
+
+class TestDifferentialFixedDesigns:
+    @pytest.fixture(scope="class")
+    def aes(self):
+        bundle = make_design("AES-65", scale=0.3)
+        pl = place_design(bundle, seed=7)
+        return bundle, pl
+
+    def test_nominal(self, aes):
+        bundle, pl = aes
+        r = TimingAnalyzer(bundle.netlist, bundle.library, pl).analyze()
+        v = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl).analyze()
+        assert_equivalent(r, v)
+
+    def test_random_full_doses(self, aes):
+        bundle, pl = aes
+        doses = random_doses(bundle.netlist, bundle.library, seed=3)
+        r = TimingAnalyzer(bundle.netlist, bundle.library, pl).analyze(doses)
+        v = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl).analyze(doses)
+        assert_equivalent(r, v)
+
+    def test_partial_doses_and_period(self, aes):
+        bundle, pl = aes
+        doses = random_doses(bundle.netlist, bundle.library, seed=9,
+                             fraction=0.3)
+        r = TimingAnalyzer(bundle.netlist, bundle.library, pl).analyze(
+            doses, clock_period=5.0
+        )
+        v = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl).analyze(
+            doses, clock_period=5.0
+        )
+        assert_equivalent(r, v)
+
+    def test_routed_net_lengths(self, aes):
+        bundle, pl = aes
+        rng = random.Random(1)
+        nets = list(bundle.netlist.nets)
+        lengths = {n: rng.uniform(0.0, 40.0) for n in nets[::4]}
+        r = TimingAnalyzer(
+            bundle.netlist, bundle.library, pl, net_lengths=lengths
+        ).analyze()
+        v = VectorTimingAnalyzer(
+            bundle.netlist, bundle.library, pl, net_lengths=lengths
+        ).analyze()
+        assert_equivalent(r, v)
+
+    def test_repeated_calls_are_stable(self, aes):
+        """Warm (incremental) re-analysis must equal the first pass."""
+        bundle, pl = aes
+        vec = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl)
+        doses = random_doses(bundle.netlist, bundle.library, seed=4)
+        first = vec.analyze(doses)
+        second = vec.analyze(doses)  # no dirty work at all
+        assert_equivalent(first, second, atol=0.0)
+        nominal = vec.analyze()  # dose flip: full dirty cone
+        r = TimingAnalyzer(bundle.netlist, bundle.library, pl).analyze()
+        assert_equivalent(r, nominal)
+
+
+class TestDifferentialRandomDesigns:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10_000), n_gates=st.integers(3, 40))
+    def test_random_dag_equivalence(self, lib65, seed, n_gates):
+        nl, pl = random_dag(seed, n_gates, lib65)
+        doses = random_doses(nl, lib65, seed=seed + 1, fraction=0.5)
+        r = TimingAnalyzer(nl, lib65, pl).analyze(doses)
+        v = VectorTimingAnalyzer(nl, lib65, pl).analyze(doses)
+        assert_equivalent(r, v)
+
+
+class TestIncrementalRetiming:
+    def test_swap_sequence_matches_scratch(self, lib65):
+        bundle = make_design("AES-65", scale=0.3)
+        nl, lib = bundle.netlist, bundle.library
+        pl = place_design(bundle, seed=7)
+        rng = random.Random(21)
+        gates = list(nl.gates)
+        doses = random_doses(nl, lib, seed=2)
+
+        vec = VectorTimingAnalyzer(nl, lib, pl)
+        vec.mct(doses)
+        for step in range(25):
+            a, b = rng.sample(gates, 2)
+            pl.swap(a, b)
+            upd = {
+                a: (lib.snap_dose(rng.uniform(-6, 6)), 0.0),
+                b: (lib.snap_dose(rng.uniform(-6, 6)), 0.0),
+            }
+            doses.update(upd)
+            vec.update_placement((a, b))
+            m_inc = vec.trial_mct(upd)
+            m_scratch = VectorTimingAnalyzer(
+                nl, lib, pl, graph=vec.graph
+            ).mct(doses)
+            assert m_inc == pytest.approx(m_scratch, abs=0.0), step
+        # and the final state still matches the reference engine exactly
+        r = TimingAnalyzer(nl, lib, pl).analyze(doses)
+        assert_equivalent(r, vec.analyze(doses))
+
+    def test_undo_restores_state(self, lib65):
+        bundle = make_design("AES-65", scale=0.3)
+        nl, lib = bundle.netlist, bundle.library
+        pl = place_design(bundle, seed=7)
+        vec = VectorTimingAnalyzer(nl, lib, pl)
+        m0 = vec.mct()
+        a, b = list(nl.gates)[10], list(nl.gates)[200]
+        pl.swap(a, b)
+        vec.update_placement((a, b))
+        vec.trial_mct()
+        pl.swap(a, b)
+        vec.update_placement((a, b))
+        assert vec.trial_mct() == pytest.approx(m0, abs=0.0)
+
+    def test_trial_mct_requires_seeded_state(self, lib65):
+        bundle = make_design("AES-65", scale=0.2)
+        pl = place_design(bundle, seed=7)
+        vec = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl)
+        with pytest.raises(RuntimeError):
+            vec.trial_mct()
+
+
+class TestTieBreak:
+    def test_lex_max_kernel(self):
+        # segment 0: equal arrivals -> larger slew wins
+        # segment 1: strictly larger arrival wins despite smaller slew
+        arr = np.array([5.0, 5.0, 4.0, 7.0, 6.0])
+        slew = np.array([0.2, 0.9, 1.5, 0.1, 2.0])
+        starts = np.array([0, 3])
+        seg_of = np.array([0, 0, 0, 1, 1])
+        best_arr, best_slew = lex_max_reduce(arr, slew, starts, seg_of)
+        assert best_arr.tolist() == [5.0, 7.0]
+        assert best_slew.tolist() == [0.9, 0.1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_scan_and_vector_kernels_agree(self, data):
+        """Both backends' worst-pin selections are the same ordering.
+
+        Random pin sets with *forced exact-arrival ties* (values drawn
+        from a tiny pool so collisions are common): the reference
+        engine's sequential scan (``beats_worst_pin``, seeded with the
+        virtual primary-input pin) must pick exactly what the vectorized
+        segment reduction picks.
+        """
+        pool = [0.0, 0.25, 0.5, 0.5, 1.0, 1.0, 1.0]
+        n = data.draw(st.integers(1, 8))
+        arr = [data.draw(st.sampled_from(pool)) for _ in range(n)]
+        slew = [data.draw(st.sampled_from(pool)) for _ in range(n)]
+        init_slew = data.draw(st.sampled_from(pool))
+
+        # reference scan, init (0.0, input_slew) like the dict engine
+        best_a, best_s = 0.0, init_slew
+        for a, s in zip(arr, slew):
+            if beats_worst_pin(a, s, best_a, best_s):
+                best_a, best_s = a, s
+
+        # vector reduction over one segment with the virtual arc first
+        va = np.array([0.0] + arr)
+        vs = np.array([init_slew] + slew)
+        got_a, got_s = lex_max_reduce(
+            va, vs, np.array([0]), np.zeros(len(va), dtype=int)
+        )
+        assert (got_a[0], got_s[0]) == (best_a, best_s)
+
+    def test_duplicate_net_pins(self, lib65):
+        """Both pins of a gate on the same net: a genuine exact tie."""
+        nl = Netlist("tie")
+        nl.add_primary_input("a")
+        nl.add_gate("u0", "INVX1", ["a"], "n0")
+        nl.add_gate("g", "NAND2X1", ["n0", "n0"], "out")
+        nl.add_primary_output("out")
+        die = Die(width=40.0, height=9.0, row_height=1.8, site_width=0.2)
+        pl = Placement(die)
+        pl.place("u0", 0.0, 0.0)
+        pl.place("g", 2.0, 1.8)
+        r = TimingAnalyzer(nl, lib65, pl).analyze()
+        v = VectorTimingAnalyzer(nl, lib65, pl).analyze()
+        assert_equivalent(r, v, atol=0.0)
+
+
+class TestBackendFactory:
+    def test_default_backend_is_vector(self):
+        assert DEFAULT_STA_BACKEND in ("vector", "reference")
+
+    def test_make_analyzer_types(self, lib65):
+        nl = Netlist("f")
+        nl.add_primary_input("a")
+        nl.add_gate("u", "INVX1", ["a"], "o")
+        nl.add_primary_output("o")
+        die = Die(width=40.0, height=9.0, row_height=1.8, site_width=0.2)
+        pl = Placement(die)
+        pl.place("u", 1.0, 0.0)
+        assert isinstance(
+            make_analyzer(nl, lib65, pl, backend="reference"), TimingAnalyzer
+        )
+        assert isinstance(
+            make_analyzer(nl, lib65, pl, backend="vector"),
+            VectorTimingAnalyzer,
+        )
+        with pytest.raises(ValueError, match="unknown STA backend"):
+            make_analyzer(nl, lib65, pl, backend="nope")
+
+    def test_graph_sharing_via_rebind(self, lib65):
+        bundle = make_design("AES-65", scale=0.2)
+        pl = place_design(bundle, seed=7)
+        vec = VectorTimingAnalyzer(bundle.netlist, bundle.library, pl)
+        other = place_design(bundle, seed=11)
+        vec2 = vec.rebind(other)
+        assert vec2.graph is vec.graph
+        r = TimingAnalyzer(bundle.netlist, bundle.library, other).analyze()
+        assert_equivalent(r, vec2.analyze())
+
+    def test_graph_design_mismatch_rejected(self, lib65):
+        b1 = make_design("AES-65", scale=0.2)
+        b2 = make_design("AES-90", scale=0.2)
+        g1 = CompiledTimingGraph(b1.netlist, b1.library)
+        pl = place_design(b2, seed=7)
+        with pytest.raises(ValueError):
+            VectorTimingAnalyzer(b2.netlist, b2.library, pl, graph=g1)
+
+
+class TestReferenceCaches:
+    """The satellite fixes: per-call variant memo + nominal-load cache."""
+
+    def test_nominal_loads_cached_and_reused(self, lib65):
+        bundle = make_design("AES-65", scale=0.2)
+        pl = place_design(bundle, seed=7)
+        ta = TimingAnalyzer(bundle.netlist, bundle.library, pl)
+        first = ta.analyze()
+        assert ta._nominal_loads is not None
+        assert ta._net_loads(None) is ta._nominal_loads
+        second = ta.analyze()
+        assert_equivalent(first, second, atol=0.0)
+
+    def test_invalidate_caches_after_move(self, lib65):
+        bundle = make_design("AES-65", scale=0.2)
+        pl = place_design(bundle, seed=7)
+        ta = TimingAnalyzer(bundle.netlist, bundle.library, pl)
+        ta.analyze()
+        a, b = list(bundle.netlist.gates)[:2]
+        pl.swap(a, b)
+        ta.invalidate_caches()
+        assert ta._nominal_loads is None
+        fresh = TimingAnalyzer(bundle.netlist, bundle.library, pl).analyze()
+        assert_equivalent(fresh, ta.analyze(), atol=0.0)
+
+    def test_dosed_calls_do_not_pollute_nominal_cache(self, lib65):
+        bundle = make_design("AES-65", scale=0.2)
+        pl = place_design(bundle, seed=7)
+        ta = TimingAnalyzer(bundle.netlist, bundle.library, pl)
+        doses = random_doses(bundle.netlist, bundle.library, seed=5)
+        ta.analyze(doses)
+        assert ta._nominal_loads is None
