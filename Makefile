@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-paper experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-dmopt bench-dmopt-smoke bench-paper experiments examples lint clean
 
 install:
 	pip install -e .[test]
@@ -12,6 +12,13 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_sta.py --smoke
+
+# Regenerate BENCH_dmopt.json (formulation assembly / warm starts / sweeps)
+bench-dmopt:
+	PYTHONPATH=src python benchmarks/bench_dmopt.py
+
+bench-dmopt-smoke:
+	PYTHONPATH=src python benchmarks/bench_dmopt.py --smoke
 
 # Paper-reproduction benchmark suite (tables/figures timings)
 bench-paper:

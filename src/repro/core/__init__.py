@@ -3,7 +3,12 @@
 from repro.core.dmopt import DMoptResult, MODE_QCP, MODE_QP, optimize_dose_map
 from repro.core.dosepl import DoseplConfig, DoseplResult, run_dosepl
 from repro.core.flow import FlowResult, run_flow
-from repro.core.formulate import Formulation, build_formulation
+from repro.core.formulate import (
+    DEFAULT_FORMULATE_BACKEND,
+    Formulation,
+    build_formulation,
+    resolve_formulate_backend,
+)
 from repro.core.corners import (
     CornerAwareResult,
     corner_context,
@@ -21,6 +26,7 @@ from repro.core.snap import snap_dose_map
 from repro.core.sweep import (
     SweepPoint,
     bias_critical_paths,
+    dmopt_dose_range_sweep,
     slack_profile,
     uniform_dose_sweep,
 )
@@ -29,6 +35,8 @@ __all__ = [
     "DesignContext",
     "Formulation",
     "build_formulation",
+    "resolve_formulate_backend",
+    "DEFAULT_FORMULATE_BACKEND",
     "optimize_dose_map",
     "DMoptResult",
     "MODE_QP",
@@ -40,6 +48,7 @@ __all__ = [
     "run_flow",
     "FlowResult",
     "uniform_dose_sweep",
+    "dmopt_dose_range_sweep",
     "SweepPoint",
     "bias_critical_paths",
     "slack_profile",

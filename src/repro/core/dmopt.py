@@ -38,6 +38,18 @@ MODE_QP = "qp"
 MODE_QCP = "qcp"
 
 
+def _warm_state(solve: SolveResult) -> dict:
+    """Solver warm-start dict from a previous result (None passthrough)."""
+    if solve is None:
+        return None
+    state = {"x": solve.x}
+    for key in ("z", "y"):
+        val = solve.info.get(key)
+        if val is not None:
+            state[key] = val
+    return state
+
+
 @dataclass
 class DMoptResult:
     """Outcome of one dose-map optimization.
@@ -95,6 +107,7 @@ def optimize_dose_map(
     method: str = METHOD_IPM,
     snap_mode: str = None,
     qp_kwargs: dict = None,
+    warm_start: SolveResult = None,
 ) -> DMoptResult:
     """Run DMopt on a design context.
 
@@ -139,30 +152,66 @@ def optimize_dose_map(
         Defaults per mode: ``"ceil"`` for QP (snapping can only speed
         gates up, so the clock bound survives signoff) and ``"nearest"``
         for QCP (minimum leakage-model error around the budget).
+    warm_start:
+        Optional :class:`~repro.solver.SolveResult` of a structurally
+        identical solve (an adjacent sweep point): its primal/dual state
+        seeds the inner solver and, for QCP, its multiplier seeds the
+        bisection bracket.
     """
     if mode not in (MODE_QP, MODE_QCP):
         raise ValueError(f"mode must be 'qp' or 'qcp', got {mode!r}")
     if snap_mode is None:
         snap_mode = SNAP_CEIL if mode == MODE_QP else SNAP_NEAREST
     t_start = time.perf_counter()
-    form = build_formulation(
-        ctx,
-        grid_size,
-        both_layers=both_layers,
-        dose_range=dose_range,
-        smoothness=smoothness,
-        seam_smoothness=seam_smoothness,
-    )
+    if hasattr(ctx, "formulation_for"):
+        form = ctx.formulation_for(
+            grid_size,
+            both_layers=both_layers,
+            dose_range=dose_range,
+            smoothness=smoothness,
+            seam_smoothness=seam_smoothness,
+        )
+    else:
+        form = build_formulation(
+            ctx,
+            grid_size,
+            both_layers=both_layers,
+            dose_range=dose_range,
+            smoothness=smoothness,
+            seam_smoothness=seam_smoothness,
+        )
     qp_kwargs = dict(qp_kwargs or {})
+    # pattern workspaces survive in the formulation's shared dict, so
+    # retargeted sweep siblings keep reusing them; QP and QCP rows have
+    # different finiteness masks, hence separate slots
+    solver_ws = form.shared.setdefault(("ipm_ws", mode), {})
 
-    def _solve_and_sign_off(tau):
+    def _solve_and_sign_off(tau, warm):
         if mode == MODE_QP:
             u = form.u.copy()
             u[form.row_clock] = tau
-            qp_solver = solve_qp_ipm if method == METHOD_IPM else solve_qp
-            solve = qp_solver(
-                form.P_leak, form.q_leak, form.A, form.l, u, **qp_kwargs
-            )
+            if method == METHOD_IPM:
+                solve = solve_qp_ipm(
+                    form.P_leak,
+                    form.q_leak,
+                    form.A,
+                    form.l,
+                    u,
+                    warm=_warm_state(warm),
+                    workspace=solver_ws,
+                    **qp_kwargs,
+                )
+            else:
+                solve = solve_qp(
+                    form.P_leak,
+                    form.q_leak,
+                    form.A,
+                    form.l,
+                    u,
+                    x0=warm.x if warm is not None else None,
+                    y0=warm.info.get("y") if warm is not None else None,
+                    **qp_kwargs,
+                )
         else:
             c = np.zeros(form.n_vars)
             c[form.idx_T] = 1.0
@@ -177,6 +226,9 @@ def optimize_dose_map(
                 s=budget,
                 method=method,
                 qp_kwargs=qp_kwargs,
+                warm=_warm_state(warm),
+                lam_hint=warm.info.get("lam") if warm is not None else None,
+                workspace=solver_ws,
             )
         poly, active, t_pred = form.split(solve.x)
         poly = snap_dose_map(poly, ctx.library, mode=snap_mode)
@@ -191,7 +243,9 @@ def optimize_dose_map(
         tau = float(timing_bound)
     else:
         tau = None
-    solve, poly, active, t_pred, golden, leak = _solve_and_sign_off(tau)
+    solve, poly, active, t_pred, golden, leak = _solve_and_sign_off(
+        tau, warm_start
+    )
 
     if (
         mode == MODE_QP
@@ -201,8 +255,9 @@ def optimize_dose_map(
     ):
         # golden signoff found the guard-forced speed-up costs more
         # leakage than this grid granularity recovers: re-solve without
-        # the guard (tau = baseline MCT)
-        retry = _solve_and_sign_off(ctx.baseline.mct)
+        # the guard (tau = baseline MCT), warm-started from the guarded
+        # solution (only the clock bound moved)
+        retry = _solve_and_sign_off(ctx.baseline.mct, solve)
         if retry[5] < leak:
             solve, poly, active, t_pred, golden, leak = retry
 

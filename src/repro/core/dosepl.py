@@ -100,33 +100,36 @@ def _cell_leakage(ctx, gate_name: str, dose: float) -> float:
     ).leakage_uw
 
 
-def _try_round(ctx, dose_map, placement, result, cfg, fixed, stats):
-    """One round of cell swapping; returns the perturbed placement or None."""
+def _try_round(
+    ctx, dose_map, trial, result, cfg, fixed, stats,
+    timer=None, doses=None, trial_best=None,
+):
+    """One round of cell swapping, applied to ``trial`` in place.
+
+    ``timer``/``doses``/``trial_best`` are the persistent incremental
+    trial-STA state owned by :func:`run_dosepl` (hoisted out of the
+    round so the engine's compiled geometry survives across rounds):
+    after each candidate swap only the dirty fanout cone is re-timed,
+    and the move is kept only if the trial MCT strictly improves --
+    O(cone) per candidate instead of a full golden pass per round spent
+    on a doomed swap.
+
+    Returns ``(swaps_done, trial_best)``; rejected candidates are undone
+    in place, so ``trial`` holds exactly the accepted swaps.
+    """
     nl = ctx.netlist
     partition = dose_map.partition
     paths = top_k_paths(nl, ctx.library, result, cfg.top_k)
     if not paths:
-        return None
+        return 0, trial_best
     weights = _path_weights(paths, result.mct)
     critical_cells = set(weights)
-    pitch = placement.gate_pitch()
+    pitch = trial.gate_pitch()
     max_dist = cfg.distance_factor * pitch
 
-    trial = placement.copy()
     swaps_done = 0
     n_swapped_on_path: dict = {}
-
-    # Incremental trial timer: after each candidate swap, re-time just
-    # the dirty fanout cone and require the trial MCT to strictly
-    # improve before keeping the move.  O(cone) per candidate instead of
-    # a full golden pass per round spent on a doomed swap.
-    timer = ctx.trial_timer(trial) if cfg.trial_sta else None
-    doses = None
-    trial_best = None
     trials_left = cfg.trial_budget
-    if timer is not None:
-        doses = ctx.gate_doses(dose_map, placement=trial)
-        trial_best = timer.mct(doses)
 
     # paths arrive most-critical first from top_k_paths
     for p_idx, path in enumerate(paths):
@@ -234,9 +237,39 @@ def _try_round(ctx, dose_map, placement, result, cfg, fixed, stats):
             if swapped:
                 break
 
-    if swaps_done == 0:
+    return swaps_done, trial_best
+
+
+def _resync_trial_state(ctx, dose_map, work, target, timer, doses):
+    """Make ``work`` (and the hoisted trial timer) match ``target``.
+
+    Used after every round: on accept, ``target`` is the legalized
+    placement (cells shifted by legalization); on rollback it is the
+    previous accepted placement (the round's swaps must be undone).
+    Only cells whose position differs are moved and re-timed, so the
+    incremental engine state stays warm across rounds.
+
+    Returns the trial MCT at the resynced state (None without a timer).
+    """
+    moved = [
+        name
+        for name, loc in target.items()
+        if work.location(name) != loc
+    ]
+    for name in moved:
+        x, y = target.location(name)
+        work.place(name, x, y)
+    if timer is None:
         return None
-    return trial
+    if not moved:
+        return timer.trial_mct({})
+    timer.update_placement(moved)
+    upd = {}
+    for name in moved:
+        dp = ctx.library.snap_dose(dose_map.dose_of_gate(work, name))
+        upd[name] = (dp, 0.0)
+        doses[name] = upd[name]
+    return timer.trial_mct(upd)
 
 
 def run_dosepl(ctx, dose_map, placement=None, config: DoseplConfig = None):
@@ -269,13 +302,28 @@ def run_dosepl(ctx, dose_map, placement=None, config: DoseplConfig = None):
     accepted = 0
     history = [(0, best_mct, best_leak)]
 
+    # Persistent work placement + incremental trial timer, hoisted out
+    # of the per-round loop: the engine's compiled geometry and timing
+    # state survive across rounds and are resynced by position diff on
+    # accept/rollback instead of being rebuilt from scratch.
+    work = place.copy()
+    timer = ctx.trial_timer(work) if cfg.trial_sta else None
+    doses = None
+    work_mct = None
+    if timer is not None:
+        doses = ctx.gate_doses(dose_map, placement=work)
+        work_mct = timer.mct(doses)
+
     for rnd in range(1, cfg.rounds + 1):
-        trial = _try_round(ctx, dose_map, place, golden, cfg, fixed, stats)
-        if trial is None:
+        swaps_done, work_mct = _try_round(
+            ctx, dose_map, work, golden, cfg, fixed, stats,
+            timer=timer, doses=doses, trial_best=work_mct,
+        )
+        if swaps_done == 0:
             history.append((rnd, best_mct, best_leak))
             continue
         # legalize + "ECO route": parasitics recomputed from new geometry
-        trial = legalize(trial, ctx.netlist, ctx.library)
+        trial = legalize(work, ctx.netlist, ctx.library)
         trial_res, trial_leak = ctx.golden_eval(
             dose_map, placement=trial
         )
@@ -287,6 +335,9 @@ def run_dosepl(ctx, dose_map, placement=None, config: DoseplConfig = None):
             # rollback: mark the cells involved as fixed
             fixed.update(stats["swapped_cells"])
         stats["swapped_cells"] = set()
+        work_mct = _resync_trial_state(
+            ctx, dose_map, work, place, timer, doses
+        )
         history.append((rnd, best_mct, best_leak))
 
     return DoseplResult(

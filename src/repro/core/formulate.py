@@ -19,11 +19,29 @@ Delta-leakage (2) appears as the QP objective or the QCP quadratic
 constraint:
 
     sum_p  alpha_p Ds^2 (d^P)^2  +  beta_p Ds d^P  +  gamma_p Ds d^A
+
+Two interchangeable assembly backends produce identical matrices:
+
+``vector`` (default)
+    Block-wise COO construction: per-gate coefficient/arc/endpoint
+    arrays are extracted once per design context (and cached on it),
+    then every constraint family is emitted as one concatenated triplet
+    batch and the leakage quadratic as ``np.bincount`` scatters.  The
+    program size depends on the grid count, not the gate count, so
+    assembly must not be the gate-bound step -- this backend keeps it
+    array-bound.
+``reference``
+    The original per-gate ``add_row`` loop, kept as the readable golden
+    model for differential testing (``tests/test_formulate_vectorized.py``).
+
+Pick one with the ``backend`` argument of :func:`build_formulation` or
+the ``REPRO_FORMULATE_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 import scipy.sparse as sp
@@ -34,6 +52,25 @@ from repro.constants import (
 )
 from repro.dosemap import DoseMap, GridPartition, LAYER_ACTIVE, LAYER_POLY
 
+BACKEND_VECTOR = "vector"
+BACKEND_REFERENCE = "reference"
+
+#: Assembly backend used when callers don't specify one.
+DEFAULT_FORMULATE_BACKEND = os.environ.get(
+    "REPRO_FORMULATE_BACKEND", BACKEND_VECTOR
+)
+
+
+def resolve_formulate_backend(backend: str = None) -> str:
+    """Normalize a backend name (None -> session default)."""
+    name = DEFAULT_FORMULATE_BACKEND if backend is None else backend
+    if name not in (BACKEND_VECTOR, BACKEND_REFERENCE):
+        raise ValueError(
+            f"unknown formulation backend {name!r}; expected "
+            f"'{BACKEND_VECTOR}' or '{BACKEND_REFERENCE}'"
+        )
+    return name
+
 
 @dataclass
 class Formulation:
@@ -43,6 +80,14 @@ class Formulation:
     same pair serves as QP objective or QCP constraint.  ``A, l, u`` hold
     every linear constraint *except* the clock bound, whose row index is
     ``row_clock`` (so the driver can set tau or drop it).
+
+    The first ``n_range_rows`` rows are the dose-range family and the
+    following ``n_smooth_rows`` rows the smoothness family; only their
+    ``l``/``u`` values depend on ``dose_range``/``smoothness``, which is
+    what makes cached formulations cheaply retargetable (see
+    :meth:`retarget`).  ``shared`` is a mutable scratch dict carried
+    across retargeted copies -- solvers stash reusable state there (e.g.
+    the IPM's pattern workspace).
     """
 
     partition: GridPartition
@@ -57,6 +102,13 @@ class Formulation:
     row_clock: int
     gate_grid: dict
     gate_order: list = field(repr=False, default_factory=list)
+    dose_range: float = DEFAULT_DOSE_RANGE
+    smoothness: float = DEFAULT_SMOOTHNESS
+    seam_smoothness: bool = False
+    n_range_rows: int = 0
+    n_smooth_rows: int = 0
+    backend: str = BACKEND_VECTOR
+    shared: dict = field(repr=False, default_factory=dict)
 
     @property
     def n_vars(self) -> int:
@@ -79,6 +131,49 @@ class Formulation:
         """Model-predicted delta leakage (uW) at a solution point."""
         return float(0.5 * x @ (self.P_leak @ x) + self.q_leak @ x)
 
+    def retarget(self, dose_range: float = None, smoothness: float = None):
+        """A sibling formulation with new range/smoothness bounds.
+
+        Dose-range and smoothness values only appear in the ``l``/``u``
+        entries of their constraint families, so a sweep point can reuse
+        the assembled ``A``/``P_leak`` and swap bounds in O(rows).  The
+        returned formulation shares ``A``, ``P_leak`` and ``shared``
+        (solver workspaces stay valid: the sparsity is untouched).
+        """
+        dr = self.dose_range if dose_range is None else float(dose_range)
+        sm = self.smoothness if smoothness is None else float(smoothness)
+        if dr == self.dose_range and sm == self.smoothness:
+            return self
+        l = self.l.copy()
+        u = self.u.copy()
+        nr, ns = self.n_range_rows, self.n_smooth_rows
+        l[:nr] = -dr
+        u[:nr] = dr
+        l[nr : nr + ns] = -sm
+        u[nr : nr + ns] = sm
+        return replace(self, l=l, u=u, dose_range=dr, smoothness=sm)
+
+
+def _seam_pairs(partition: GridPartition) -> list:
+    """Wrap-around grid pairs across die-copy seams.
+
+    In the tiled exposure field, grid (i, n-1) of one copy neighbors
+    (i, 0) and (i+1, 0) of the next, including the diagonal family of
+    the paper's constraint (4).
+    """
+    m_, n_ = partition.m, partition.n
+    pairs = []
+    for i in range(m_):
+        pairs.append(((i, n_ - 1), (i, 0)))
+        if i + 1 < m_:
+            pairs.append(((i, n_ - 1), (i + 1, 0)))
+    for j in range(n_):
+        pairs.append(((m_ - 1, j), (0, j)))
+        if j + 1 < n_:
+            pairs.append(((m_ - 1, j), (0, j + 1)))
+    pairs.append(((m_ - 1, n_ - 1), (0, 0)))
+    return pairs
+
 
 def build_formulation(
     ctx,
@@ -87,6 +182,7 @@ def build_formulation(
     dose_range: float = DEFAULT_DOSE_RANGE,
     smoothness: float = DEFAULT_SMOOTHNESS,
     seam_smoothness: bool = False,
+    backend: str = None,
 ) -> Formulation:
     """Assemble the DMopt matrices for a design context.
 
@@ -104,18 +200,48 @@ def build_formulation(
         edges), so the per-die solution can be tiled over a multi-die
         exposure field without violating the scanner's smoothness limit
         (the paper's Section II-B multi-copy extension).
+    backend:
+        ``"vector"`` (block-wise COO, default) or ``"reference"`` (the
+        per-gate loop).  Both produce identical matrices.
     """
     if both_layers and not ctx.fit_width:
         raise ValueError(
             "both-layer formulation needs a DesignContext with fit_width=True"
         )
+    backend = resolve_formulate_backend(backend)
+    place = ctx.placement
+    partition = GridPartition(place.die.width, place.die.height, grid_size)
+    if backend == BACKEND_VECTOR:
+        assemble = _assemble_vector
+    else:
+        assemble = _assemble_reference
+    return assemble(
+        ctx,
+        partition,
+        both_layers=both_layers,
+        dose_range=dose_range,
+        smoothness=smoothness,
+        seam_smoothness=seam_smoothness,
+    )
+
+
+# ----------------------------------------------------------------------
+# reference backend: per-gate add_row loops (golden model)
+# ----------------------------------------------------------------------
+def _assemble_reference(
+    ctx,
+    partition: GridPartition,
+    both_layers: bool,
+    dose_range: float,
+    smoothness: float,
+    seam_smoothness: bool,
+) -> Formulation:
     nl = ctx.netlist
     lib = ctx.library
     ds = lib.dose_sensitivity
     place = ctx.placement
     baseline = ctx.baseline
 
-    partition = GridPartition(place.die.width, place.die.height, grid_size)
     g = partition.n_grids
     gate_grid = partition.assign_gates(place)
 
@@ -146,6 +272,7 @@ def build_formulation(
     for layer in range(n_layers):
         for k in range(g):
             add_row([(layer * g + k, 1.0)], -dose_range, dose_range)
+    n_range_rows = r
 
     # ---- (4)/(9) smoothness
     for layer in range(n_layers):
@@ -154,24 +281,11 @@ def build_formulation(
             k2 = layer * g + partition.index_of(i2, j2)
             add_row([(k1, 1.0), (k2, -1.0)], -smoothness, smoothness)
         if seam_smoothness:
-            # wrap-around pairs across die-copy seams, including the
-            # diagonal family of (4): in the tiled field, grid (i, n-1)
-            # of one copy neighbors (i, 0) and (i+1, 0) of the next
-            m_, n_ = partition.m, partition.n
-            seam_pairs = []
-            for i in range(m_):
-                seam_pairs.append(((i, n_ - 1), (i, 0)))
-                if i + 1 < m_:
-                    seam_pairs.append(((i, n_ - 1), (i + 1, 0)))
-            for j in range(n_):
-                seam_pairs.append(((m_ - 1, j), (0, j)))
-                if j + 1 < n_:
-                    seam_pairs.append(((m_ - 1, j), (0, j + 1)))
-            seam_pairs.append(((m_ - 1, n_ - 1), (0, 0)))
-            for (i1, j1), (i2, j2) in seam_pairs:
+            for (i1, j1), (i2, j2) in _seam_pairs(partition):
                 k1 = layer * g + partition.index_of(i1, j1)
                 k2 = layer * g + partition.index_of(i2, j2)
                 add_row([(k1, 1.0), (k2, -1.0)], -smoothness, smoothness)
+    n_smooth_rows = r - n_range_rows
 
     # ---- (5)/(10) arrival propagation
     is_seq = {
@@ -261,4 +375,365 @@ def build_formulation(
         row_clock=row_clock,
         gate_grid=gate_grid,
         gate_order=gate_order,
+        dose_range=dose_range,
+        smoothness=smoothness,
+        seam_smoothness=seam_smoothness,
+        n_range_rows=n_range_rows,
+        n_smooth_rows=n_smooth_rows,
+        backend=BACKEND_REFERENCE,
+    )
+
+
+# ----------------------------------------------------------------------
+# vector backend: cached per-design arrays + block-wise COO batches
+# ----------------------------------------------------------------------
+@dataclass
+class _DesignArrays:
+    """Grid-independent per-gate/arc/endpoint arrays for one context.
+
+    Extracted once per :class:`DesignContext` and cached on it; every
+    grid size / bound setting then assembles from these without touching
+    the netlist or the fitters again.
+    """
+
+    names: list
+    x: np.ndarray
+    y: np.ndarray
+    is_seq: np.ndarray
+    has_pi: np.ndarray
+    t0: np.ndarray
+    fit_a: np.ndarray
+    fit_b: np.ndarray
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    arc_src: np.ndarray
+    arc_snk: np.ndarray
+    arc_wire: np.ndarray
+    ep_gid: np.ndarray
+    ep_u: np.ndarray
+
+
+def _design_arrays(ctx) -> _DesignArrays:
+    cached = ctx.__dict__.get("_formulate_design_arrays")
+    if cached is not None:
+        return cached
+    nl = ctx.netlist
+    lib = ctx.library
+    place = ctx.placement
+    baseline = ctx.baseline
+
+    names = list(nl.gates)
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    masters = [nl.gates[name].master for name in names]
+
+    x = np.empty(n)
+    y = np.empty(n)
+    for i, name in enumerate(names):
+        x[i], y[i] = place.location(name)
+    is_seq = np.array(
+        [lib.cell(m).is_sequential for m in masters], dtype=bool
+    )
+    t0 = np.array([baseline.gate_delay[name] for name in names])
+
+    # delay fits: batch the nearest-table-entry lookup per master, then
+    # memoize the (master, i, j) -> DelayFit resolution so each distinct
+    # operating entry is fitted exactly once (same cache the reference
+    # path populates via ctx.delay_fit_for)
+    slews = np.array([baseline.input_slew[name] for name in names])
+    loads = np.array([baseline.load[name] for name in names])
+    fit_a = np.empty(n)
+    fit_b = np.empty(n)
+    by_master: dict = {}
+    for i, m in enumerate(masters):
+        by_master.setdefault(m, []).append(i)
+    for m, gids in by_master.items():
+        gids = np.asarray(gids)
+        table = lib.nominal(m).delay
+        si = np.argmin(
+            np.abs(table.slew_axis[None, :] - slews[gids][:, None]), axis=1
+        )
+        lj = np.argmin(
+            np.abs(table.load_axis[None, :] - loads[gids][:, None]), axis=1
+        )
+        memo: dict = {}
+        for k, gid in enumerate(gids):
+            key = (int(si[k]), int(lj[k]))
+            fit = memo.get(key)
+            if fit is None:
+                fit = ctx.delay_fitter.fit_at_entry(m, key[0], key[1])
+                memo[key] = fit
+            fit_a[gid] = fit.a
+            fit_b[gid] = fit.b
+
+    # leakage fits: one per master
+    alpha = np.empty(n)
+    beta = np.empty(n)
+    gamma = np.empty(n)
+    lmemo: dict = {}
+    for i, m in enumerate(masters):
+        fit = lmemo.get(m)
+        if fit is None:
+            fit = ctx.leakage_fitter.fit(m)
+            lmemo[m] = fit
+        alpha[i] = fit.alpha
+        beta[i] = fit.beta
+        gamma[i] = fit.gamma
+
+    # timing arcs (deduplicated per (driver, sink), in input-pin order)
+    # and primary-input flags, mirroring the reference row enumeration
+    wire_delay = baseline.wire_delay
+    has_pi = np.zeros(n, dtype=bool)
+    arc_src, arc_snk, arc_wire = [], [], []
+    for gid, name in enumerate(names):
+        if is_seq[gid]:
+            continue
+        gate = nl.gates[name]
+        seen: set = set()
+        pi = False
+        for net_name in gate.inputs:
+            drv = nl.nets[net_name].driver
+            if drv is None:
+                pi = True
+                continue
+            if drv in seen:
+                continue
+            seen.add(drv)
+            arc_src.append(index[drv])
+            arc_snk.append(gid)
+            arc_wire.append(wire_delay.get((drv, name), 0.0))
+        has_pi[gid] = pi
+
+    # endpoint rows: PO drivers (rhs 0) and FF D-pin fanin (rhs
+    # -wire - setup), in per-gate order
+    ep_gid, ep_u = [], []
+    for gid, name in enumerate(names):
+        gate = nl.gates[name]
+        if nl.nets[gate.output].is_primary_output:
+            ep_gid.append(gid)
+            ep_u.append(0.0)
+        for succ in set(nl.fanout_gates(name)):
+            if not is_seq[index[succ]]:
+                continue
+            wire = wire_delay.get((name, succ), 0.0)
+            setup = lib.cell(nl.gate(succ).master).setup_ns
+            ep_gid.append(gid)
+            ep_u.append(-wire - setup)
+
+    arrs = _DesignArrays(
+        names=names,
+        x=x,
+        y=y,
+        is_seq=is_seq,
+        has_pi=has_pi,
+        t0=t0,
+        fit_a=fit_a,
+        fit_b=fit_b,
+        alpha=alpha,
+        beta=beta,
+        gamma=gamma,
+        arc_src=np.asarray(arc_src, dtype=np.int64),
+        arc_snk=np.asarray(arc_snk, dtype=np.int64),
+        arc_wire=np.asarray(arc_wire, dtype=float),
+        ep_gid=np.asarray(ep_gid, dtype=np.int64),
+        ep_u=np.asarray(ep_u, dtype=float),
+    )
+    ctx.__dict__["_formulate_design_arrays"] = arrs
+    return arrs
+
+
+def _neighbor_indices(partition: GridPartition):
+    """Flat (k1, k2) index arrays of ``partition.neighbor_pairs()``."""
+    m, n = partition.m, partition.n
+    idx = np.arange(m * n, dtype=np.int64).reshape(m, n)
+    k1 = np.concatenate(
+        [idx[:-1, :-1].ravel(), idx[:, :-1].ravel(), idx[:-1, :].ravel()]
+    )
+    k2 = np.concatenate(
+        [idx[1:, 1:].ravel(), idx[:, 1:].ravel(), idx[1:, :].ravel()]
+    )
+    return k1, k2
+
+
+def _assemble_vector(
+    ctx,
+    partition: GridPartition,
+    both_layers: bool,
+    dose_range: float,
+    smoothness: float,
+    seam_smoothness: bool,
+) -> Formulation:
+    arrs = _design_arrays(ctx)
+    ds = ctx.library.dose_sensitivity
+    g = partition.n_grids
+    n = len(arrs.names)
+    n_layers = 2 if both_layers else 1
+    off_arr = n_layers * g
+    idx_T = off_arr + n
+    n_vars = idx_T + 1
+    inf = np.inf
+
+    # grid assignment, replicating GridPartition.grid_of element-wise
+    gj = np.clip(
+        (arrs.x / partition.cell_width).astype(np.int64), 0, partition.n - 1
+    )
+    gi = np.clip(
+        (arrs.y / partition.cell_height).astype(np.int64), 0, partition.m - 1
+    )
+    grid_k = gi * partition.n + gj
+    gate_grid = dict(zip(arrs.names, grid_k.tolist()))
+
+    rows_p, cols_p, vals_p = [], [], []
+    lo_p, hi_p = [], []
+    r = 0
+
+    # ---- (3)/(8) dose correction range
+    n_range_rows = n_layers * g
+    rows_p.append(np.arange(n_range_rows, dtype=np.int64))
+    cols_p.append(np.arange(n_range_rows, dtype=np.int64))
+    vals_p.append(np.ones(n_range_rows))
+    lo_p.append(np.full(n_range_rows, -dose_range))
+    hi_p.append(np.full(n_range_rows, dose_range))
+    r += n_range_rows
+
+    # ---- (4)/(9) smoothness
+    k1, k2 = _neighbor_indices(partition)
+    if seam_smoothness:
+        pairs = _seam_pairs(partition)
+        s1 = np.array(
+            [partition.index_of(i, j) for (i, j), _ in pairs], dtype=np.int64
+        )
+        s2 = np.array(
+            [partition.index_of(i, j) for _, (i, j) in pairs], dtype=np.int64
+        )
+        k1 = np.concatenate([k1, s1])
+        k2 = np.concatenate([k2, s2])
+    n_pairs = k1.size
+    for layer in range(n_layers):
+        row_ids = r + np.arange(n_pairs, dtype=np.int64)
+        rows_p.append(np.concatenate([row_ids, row_ids]))
+        cols_p.append(np.concatenate([layer * g + k1, layer * g + k2]))
+        vals_p.append(
+            np.concatenate([np.ones(n_pairs), -np.ones(n_pairs)])
+        )
+        lo_p.append(np.full(n_pairs, -smoothness))
+        hi_p.append(np.full(n_pairs, smoothness))
+        r += n_pairs
+    n_smooth_rows = r - n_range_rows
+
+    # ---- (5)/(10) arrival propagation: each gate owns one optional
+    # launch/PI row followed by its fanin-arc rows, in gate order
+    own = arrs.is_seq | arrs.has_pi
+    arc_src, arc_snk = arrs.arc_src, arrs.arc_snk
+    n_arcs = (
+        np.bincount(arc_snk, minlength=n).astype(np.int64)
+        if arc_snk.size
+        else np.zeros(n, dtype=np.int64)
+    )
+    per_gate = own.astype(np.int64) + n_arcs
+    gstart = r + np.cumsum(per_gate) - per_gate
+    n_arr_rows = int(per_gate.sum())
+    a_ds = arrs.fit_a * ds
+
+    og = np.nonzero(own)[0]
+    own_rows = gstart[og]
+    rows_p += [own_rows, own_rows]
+    cols_p += [grid_k[og], off_arr + og]
+    vals_p += [a_ds[og], np.full(og.size, -1.0)]
+    if both_layers:
+        b_ds = arrs.fit_b * ds
+        rows_p.append(own_rows)
+        cols_p.append(g + grid_k[og])
+        vals_p.append(b_ds[og])
+
+    if arc_snk.size:
+        starts = np.cumsum(n_arcs) - n_arcs
+        pos_in_gate = np.arange(arc_snk.size, dtype=np.int64) - starts[arc_snk]
+        arc_rows = gstart[arc_snk] + own[arc_snk].astype(np.int64) + pos_in_gate
+        rows_p += [arc_rows, arc_rows, arc_rows]
+        cols_p += [off_arr + arc_src, off_arr + arc_snk, grid_k[arc_snk]]
+        vals_p += [
+            np.ones(arc_snk.size),
+            -np.ones(arc_snk.size),
+            a_ds[arc_snk],
+        ]
+        if both_layers:
+            rows_p.append(arc_rows)
+            cols_p.append(g + grid_k[arc_snk])
+            vals_p.append(b_ds[arc_snk])
+    else:
+        arc_rows = np.empty(0, dtype=np.int64)
+
+    u_arr = np.empty(n_arr_rows)
+    u_arr[own_rows - r] = -arrs.t0[og]
+    if arc_snk.size:
+        u_arr[arc_rows - r] = -arrs.t0[arc_snk] - arrs.arc_wire
+    lo_p.append(np.full(n_arr_rows, -inf))
+    hi_p.append(u_arr)
+    r += n_arr_rows
+
+    # ---- endpoint constraints: a <= T (PO), a + wire + setup <= T (FF D)
+    n_ep = arrs.ep_gid.size
+    if n_ep:
+        ep_rows = r + np.arange(n_ep, dtype=np.int64)
+        rows_p += [ep_rows, ep_rows]
+        cols_p += [off_arr + arrs.ep_gid, np.full(n_ep, idx_T, dtype=np.int64)]
+        vals_p += [np.ones(n_ep), -np.ones(n_ep)]
+        lo_p.append(np.full(n_ep, -inf))
+        hi_p.append(arrs.ep_u.copy())
+        r += n_ep
+
+    # ---- clock bound row (caller sets tau via formulation.row_clock)
+    row_clock = r
+    rows_p.append(np.array([row_clock], dtype=np.int64))
+    cols_p.append(np.array([idx_T], dtype=np.int64))
+    vals_p.append(np.array([1.0]))
+    lo_p.append(np.array([-inf]))
+    hi_p.append(np.array([inf]))
+    r += 1
+
+    A = sp.csc_matrix(
+        (
+            np.concatenate(vals_p),
+            (np.concatenate(rows_p), np.concatenate(cols_p)),
+        ),
+        shape=(r, n_vars),
+    )
+    l = np.concatenate(lo_p)
+    u = np.concatenate(hi_p)
+
+    # ---- delta-leakage quadratic (2) via bincount scatters (the
+    # per-bin accumulation order matches the reference's gate order)
+    p_diag = np.zeros(n_vars)
+    p_diag[:g] = np.bincount(
+        grid_k, weights=2.0 * arrs.alpha * ds * ds, minlength=g
+    )[:g]
+    q_lin = np.zeros(n_vars)
+    q_lin[:g] = np.bincount(grid_k, weights=arrs.beta * ds, minlength=g)[:g]
+    if both_layers:
+        q_lin[g : 2 * g] = np.bincount(
+            grid_k, weights=arrs.gamma * ds, minlength=g
+        )[:g]
+    P_leak = sp.diags(p_diag, format="csc")
+
+    return Formulation(
+        partition=partition,
+        both_layers=both_layers,
+        n_gates=n,
+        A=A,
+        l=l,
+        u=u,
+        P_leak=P_leak,
+        q_leak=q_lin,
+        idx_T=idx_T,
+        row_clock=row_clock,
+        gate_grid=gate_grid,
+        gate_order=list(arrs.names),
+        dose_range=dose_range,
+        smoothness=smoothness,
+        seam_smoothness=seam_smoothness,
+        n_range_rows=n_range_rows,
+        n_smooth_rows=n_smooth_rows,
+        backend=BACKEND_VECTOR,
     )

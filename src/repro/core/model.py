@@ -57,6 +57,48 @@ class DesignContext:
         self.delay_fitter = DelayFitter(self.library, fit_width=fit_width)
         self.leakage_fitter = LeakageFitter(self.library, fit_width=fit_width)
         self.fit_width = fit_width
+        #: Assembled-formulation cache keyed by
+        #: (grid_size, both_layers, seam_smoothness); see formulation_for.
+        self._formulation_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def formulation_for(self, grid_size: float, both_layers: bool = False,
+                        dose_range: float = None, smoothness: float = None,
+                        seam_smoothness: bool = False, backend: str = None):
+        """A DMopt formulation for this design, cached per structure.
+
+        The constraint matrix ``A`` and leakage quadratic depend only on
+        ``(grid_size, both_layers, seam_smoothness)`` -- dose-range and
+        smoothness limits live purely in the ``l``/``u`` bound vectors.
+        The first call per structure key assembles (see
+        :func:`repro.core.formulate.build_formulation`); later calls --
+        e.g. the points of a dose-range sweep -- reuse the cached
+        matrices and only retarget bounds, so a sweep point costs O(rows)
+        instead of a full reassembly.  Retargeted siblings share their
+        ``shared`` scratch dict, which lets solvers reuse
+        pattern-dependent workspaces across the sweep.
+        """
+        from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
+        from repro.core.formulate import build_formulation
+
+        if dose_range is None:
+            dose_range = DEFAULT_DOSE_RANGE
+        if smoothness is None:
+            smoothness = DEFAULT_SMOOTHNESS
+        key = (float(grid_size), bool(both_layers), bool(seam_smoothness))
+        form = self._formulation_cache.get(key)
+        if form is None or (backend is not None and form.backend != backend):
+            form = build_formulation(
+                self,
+                grid_size,
+                both_layers=both_layers,
+                dose_range=dose_range,
+                smoothness=smoothness,
+                seam_smoothness=seam_smoothness,
+                backend=backend,
+            )
+            self._formulation_cache[key] = form
+        return form.retarget(dose_range=dose_range, smoothness=smoothness)
 
     # ------------------------------------------------------------------
     def delay_fit_for(self, gate_name: str):

@@ -104,3 +104,42 @@ def slack_profile(result, n_bins: int = 40, lo: float = None, hi: float = None):
         hi = float(slacks.max())
     counts, edges = np.histogram(slacks, bins=n_bins, range=(lo, hi))
     return edges, counts
+
+
+def dmopt_dose_range_sweep(
+    ctx,
+    grid_size: float,
+    dose_ranges,
+    mode: str = "qcp",
+    warm_start: bool = True,
+    **dmopt_kwargs,
+) -> list:
+    """Run DMopt at each dose-range limit, warm-starting along the sweep.
+
+    All points share one cached formulation (``ctx.formulation_for``
+    only retargets the range/smoothness bounds between points) and, with
+    ``warm_start=True`` (default), each solve is seeded from the
+    previous point's solution and multiplier -- typically a large cut in
+    solver iterations (see ``BENCH_dmopt.json``) with golden signoff
+    numbers unchanged, since warm starting only changes the inner
+    solver's starting iterate, not the optimum.
+
+    Returns the list of :class:`~repro.core.dmopt.DMoptResult` in
+    ``dose_ranges`` order.
+    """
+    from repro.core.dmopt import optimize_dose_map
+
+    results = []
+    prev = None
+    for dose_range in dose_ranges:
+        res = optimize_dose_map(
+            ctx,
+            grid_size,
+            mode=mode,
+            dose_range=float(dose_range),
+            warm_start=prev.solve if (warm_start and prev is not None) else None,
+            **dmopt_kwargs,
+        )
+        results.append(res)
+        prev = res
+    return results

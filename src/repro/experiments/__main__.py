@@ -64,6 +64,14 @@ def main(argv=None) -> int:
         default="benchmarks/results",
         help="output directory for the formatted tables",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the DMopt tables (4/5/6); 0 = all "
+        "cores; default: REPRO_JOBS env or serial",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -78,9 +86,15 @@ def main(argv=None) -> int:
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    parallelizable = {"table4", "table5", "table6"}
     for name in names:
         t0 = time.perf_counter()
-        table = EXPERIMENTS[name]()
+        kwargs = (
+            {"jobs": args.jobs}
+            if args.jobs is not None and name in parallelizable
+            else {}
+        )
+        table = EXPERIMENTS[name](**kwargs)
         elapsed = time.perf_counter() - t0
         print(table.format())
         print(f"[{name}: {elapsed:.1f} s]")

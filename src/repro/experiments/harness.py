@@ -1,14 +1,27 @@
-"""Experiment harness: table containers, formatting, paper comparison.
+"""Experiment harness: table containers, formatting, parallel running.
 
 Every paper table/figure has a generator in :mod:`repro.experiments.tables`
 or :mod:`repro.experiments.figures` returning a :class:`TableResult` whose
 rows can be printed, asserted on in benchmarks, and diffed against the
 paper's published numbers in :data:`repro.experiments.paper_data`.
+
+The table drivers' DMopt cells -- independent (design, grid, mode,
+dose-range) evaluations -- can be fanned across processes with
+:func:`run_dmopt_cells`.  Determinism guarantee: each worker rebuilds
+its design context from the same seeds the serial path uses and results
+are returned in input order (``ProcessPoolExecutor.map``), so a parallel
+run produces byte-identical rows to a serial run of the same cells.
+Worker count comes from the ``REPRO_JOBS`` environment variable or the
+experiment CLI's ``--jobs`` flag (see :func:`resolve_jobs`).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+
+from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
 
 
 @dataclass
@@ -71,3 +84,120 @@ class TableResult:
 
     def __str__(self):
         return self.format()
+
+
+# ----------------------------------------------------------------------
+# parallel DMopt cell runner
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: int = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` env > 1 (serial).
+
+    0 or a negative value means "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def parallel_map(fn, items, jobs: int = None) -> list:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Results always come back in input order (``executor.map`` preserves
+    it), so callers see identical output whether the run was serial or
+    parallel.  ``jobs <= 1`` short-circuits to a plain loop with zero
+    multiprocessing overhead; ``fn`` and each item must be picklable
+    otherwise.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), max(len(items), 1))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as ex:
+        return list(ex.map(fn, items))
+
+
+@dataclass(frozen=True)
+class DMoptCell:
+    """One independent DMopt evaluation of a table/sweep driver."""
+
+    design: str
+    grid_size: float
+    mode: str = "qcp"
+    both_layers: bool = False
+    fit_width: bool = False
+    dose_range: float = DEFAULT_DOSE_RANGE
+    smoothness: float = DEFAULT_SMOOTHNESS
+    scale: float = 1.0
+    method: str = "ipm"
+
+
+#: Per-process context cache so one worker serving many cells of the
+#: same design characterizes it once (mirrors tables._CTX_CACHE).
+_CELL_CTX: dict = {}
+
+
+def _cell_context(design: str, scale: float, fit_width: bool):
+    key = (design, float(scale), bool(fit_width))
+    ctx = _CELL_CTX.get(key)
+    if ctx is None:
+        from repro.core import DesignContext
+        from repro.netlist import make_design
+
+        ctx = DesignContext(
+            make_design(design, scale=scale), fit_width=fit_width
+        )
+        _CELL_CTX[key] = ctx
+    return ctx
+
+
+def run_dmopt_cell(cell: DMoptCell) -> dict:
+    """Evaluate one cell; returns a small picklable result dict.
+
+    Runs in a worker process under :func:`run_dmopt_cells`; the context
+    is rebuilt deterministically (same design generator and placer
+    seeds as the serial path), so the golden numbers are identical to a
+    serial evaluation.
+    """
+    from repro.core import optimize_dose_map
+
+    ctx = _cell_context(
+        cell.design, cell.scale, cell.fit_width or cell.both_layers
+    )
+    res = optimize_dose_map(
+        ctx,
+        cell.grid_size,
+        mode=cell.mode,
+        both_layers=cell.both_layers,
+        dose_range=cell.dose_range,
+        smoothness=cell.smoothness,
+        method=cell.method,
+    )
+    return {
+        "design": cell.design,
+        "grid_size": cell.grid_size,
+        "mode": cell.mode,
+        "both_layers": cell.both_layers,
+        "mct": res.mct,
+        "mct_improvement_pct": res.mct_improvement_pct,
+        "leakage": res.leakage,
+        "leakage_improvement_pct": res.leakage_improvement_pct,
+        "baseline_mct": res.baseline_mct,
+        "baseline_leakage": res.baseline_leakage,
+        "runtime": res.runtime,
+        "iterations": res.solve.iterations,
+        "status": res.solve.status,
+    }
+
+
+def run_dmopt_cells(cells, jobs: int = None) -> list:
+    """Fan independent DMopt cells across processes.
+
+    Returns one result dict per cell, in ``cells`` order regardless of
+    worker scheduling.  With ``jobs=1`` (the default absent
+    ``REPRO_JOBS``) this is a plain serial loop.
+    """
+    return parallel_map(run_dmopt_cell, list(cells), jobs=jobs)

@@ -16,7 +16,12 @@ from repro.core import (
     run_dosepl,
     uniform_dose_sweep,
 )
-from repro.experiments.harness import TableResult
+from repro.experiments.harness import (
+    DMoptCell,
+    TableResult,
+    resolve_jobs,
+    run_dmopt_cells,
+)
 from repro.netlist import make_design
 
 #: Grid sizes per node, as in the paper (coarsest differs by node).
@@ -85,38 +90,81 @@ def table3() -> TableResult:
     return _sweep_table("Table III", "AES-90")
 
 
-def table4(designs=None, grid_sizes=None) -> TableResult:
+def _node_grid_sizes(design: str) -> tuple:
+    """Default grid sizes for a design without building its context."""
+    node = design.rsplit("-", 1)[1] + "nm"
+    return GRID_SIZES[node]
+
+
+def table4(designs=None, grid_sizes=None, jobs=None) -> TableResult:
     """Table IV: DMopt on the poly layer, QP and QCP, per grid size.
 
     QP minimizes leakage under the baseline-MCT bound; QCP minimizes MCT
     under a no-leakage-increase budget (smoothness delta = 2, range
-    +/-5 %), exactly the paper's settings.
+    +/-5 %), exactly the paper's settings.  ``jobs`` (or ``REPRO_JOBS``)
+    > 1 fans the (design, grid, mode) cells across processes with
+    identical results (see :func:`repro.experiments.harness.run_dmopt_cells`).
     """
     if designs is None:
         designs = ("AES-65", "JPEG-65", "AES-90", "JPEG-90")
+    pairs = [
+        (design, g)
+        for design in designs
+        for g in (grid_sizes or _node_grid_sizes(design))
+    ]
     rows = []
-    for design in designs:
-        ctx = get_context(design)
-        sizes = grid_sizes or GRID_SIZES[ctx.library.node.name]
-        for g in sizes:
-            qp = optimize_dose_map(ctx, g, mode="qp")
-            qcp = optimize_dose_map(ctx, g, mode="qcp")
+    if resolve_jobs(jobs) > 1:
+        cells = [
+            DMoptCell(design, g, mode=mode)
+            for design, g in pairs
+            for mode in ("qp", "qcp")
+        ]
+        out = dict(zip(((c.design, c.grid_size, c.mode) for c in cells),
+                       run_dmopt_cells(cells, jobs=jobs)))
+        for design, g in pairs:
+            qp = out[(design, g, "qp")]
+            qcp = out[(design, g, "qcp")]
             rows.append(
                 [
                     design,
                     f"{g:.0f}x{g:.0f}",
-                    qp.mct,
-                    qp.mct_improvement_pct,
-                    qp.leakage,
-                    qp.leakage_improvement_pct,
-                    qp.runtime,
-                    qcp.mct,
-                    qcp.mct_improvement_pct,
-                    qcp.leakage,
-                    qcp.leakage_improvement_pct,
-                    qcp.runtime,
+                    qp["mct"],
+                    qp["mct_improvement_pct"],
+                    qp["leakage"],
+                    qp["leakage_improvement_pct"],
+                    qp["runtime"],
+                    qcp["mct"],
+                    qcp["mct_improvement_pct"],
+                    qcp["leakage"],
+                    qcp["leakage_improvement_pct"],
+                    qcp["runtime"],
                 ]
             )
+        return _table4_result(rows)
+    for design, g in pairs:
+        ctx = get_context(design)
+        qp = optimize_dose_map(ctx, g, mode="qp")
+        qcp = optimize_dose_map(ctx, g, mode="qcp")
+        rows.append(
+            [
+                design,
+                f"{g:.0f}x{g:.0f}",
+                qp.mct,
+                qp.mct_improvement_pct,
+                qp.leakage,
+                qp.leakage_improvement_pct,
+                qp.runtime,
+                qcp.mct,
+                qcp.mct_improvement_pct,
+                qcp.leakage,
+                qcp.leakage_improvement_pct,
+                qcp.runtime,
+            ]
+        )
+    return _table4_result(rows)
+
+
+def _table4_result(rows) -> TableResult:
     return TableResult(
         exp_id="Table IV",
         title="DMopt on poly layer (gate length modulation), delta=2, +/-5%",
@@ -129,9 +177,44 @@ def table4(designs=None, grid_sizes=None) -> TableResult:
     )
 
 
-def table5(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0)) -> TableResult:
+def _both_layer_cells(designs, grid_sizes, mode, jobs):
+    """Parallel (poly, both) result-dict pairs for tables V/VI."""
+    cells = [
+        DMoptCell(design, g, mode=mode, both_layers=bl, fit_width=True)
+        for design in designs
+        for g in grid_sizes
+        for bl in (False, True)
+    ]
+    out = run_dmopt_cells(cells, jobs=jobs)
+    return {
+        (c.design, c.grid_size, c.both_layers): r
+        for c, r in zip(cells, out)
+    }
+
+
+def table5(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0),
+           jobs=None) -> TableResult:
     """Table V: QCP for improved timing, poly-only vs both layers."""
     rows = []
+    if resolve_jobs(jobs) > 1:
+        out = _both_layer_cells(designs, grid_sizes, "qcp", jobs)
+        for design in designs:
+            for g in grid_sizes:
+                poly = out[(design, g, False)]
+                both = out[(design, g, True)]
+                rows.append(
+                    [
+                        design,
+                        f"{g:.0f}x{g:.0f}",
+                        poly["mct"],
+                        poly["mct_improvement_pct"],
+                        both["mct"],
+                        both["mct_improvement_pct"],
+                        poly["leakage"],
+                        both["leakage"],
+                    ]
+                )
+        return _table5_result(rows)
     for design in designs:
         ctx_w = get_context(design, fit_width=True)
         for g in grid_sizes:
@@ -149,6 +232,10 @@ def table5(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0)) -> Table
                     both.leakage,
                 ]
             )
+    return _table5_result(rows)
+
+
+def _table5_result(rows) -> TableResult:
     return TableResult(
         exp_id="Table V",
         title="QCP timing optimization: gate length vs length+width modulation",
@@ -163,9 +250,29 @@ def table5(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0)) -> Table
     )
 
 
-def table6(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0)) -> TableResult:
+def table6(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0),
+           jobs=None) -> TableResult:
     """Table VI: QP for improved leakage, poly-only vs both layers."""
     rows = []
+    if resolve_jobs(jobs) > 1:
+        out = _both_layer_cells(designs, grid_sizes, "qp", jobs)
+        for design in designs:
+            for g in grid_sizes:
+                poly = out[(design, g, False)]
+                both = out[(design, g, True)]
+                rows.append(
+                    [
+                        design,
+                        f"{g:.0f}x{g:.0f}",
+                        poly["leakage"],
+                        poly["leakage_improvement_pct"],
+                        both["leakage"],
+                        both["leakage_improvement_pct"],
+                        poly["mct"],
+                        both["mct"],
+                    ]
+                )
+        return _table6_result(rows)
     for design in designs:
         ctx_w = get_context(design, fit_width=True)
         for g in grid_sizes:
@@ -183,6 +290,10 @@ def table6(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0)) -> Table
                     both.mct,
                 ]
             )
+    return _table6_result(rows)
+
+
+def _table6_result(rows) -> TableResult:
     return TableResult(
         exp_id="Table VI",
         title="QP leakage optimization: gate length vs length+width modulation",

@@ -50,6 +50,9 @@ def solve_qcp(
     max_root_steps: int = 30,
     method: str = METHOD_ADMM,
     qp_kwargs: dict = None,
+    warm: dict = None,
+    lam_hint: float = None,
+    workspace: dict = None,
 ) -> SolveResult:
     """Solve ``min c'x  s.t.  l <= Ax <= u,  (1/2)x'Qx + g'x <= s``.
 
@@ -68,6 +71,17 @@ def solve_qcp(
         measured against ``max(1, |s|)``.
     method:
         Inner QP backend: ``"admm"`` or ``"ipm"``.
+    warm:
+        Optional previous solution state (``{"x": ...}``, plus ``"z"``
+        for IPM or ``"y"`` for ADMM) seeding the *first* inner solve;
+        later inner solves always chain from their predecessor.
+    lam_hint:
+        Optional previous optimal multiplier (``info["lam"]``): the
+        bracket starts there instead of at 1e-4, so a neighbor problem's
+        root is re-found in a couple of inner solves.
+    workspace:
+        Mutable dict carrying the IPM's pattern workspace across inner
+        solves and across calls (see :func:`solve_qp_ipm`).
 
     Returns
     -------
@@ -85,15 +99,35 @@ def solve_qcp(
     scale = max(1.0, abs(float(s)))
 
     total_iters = 0
-    x_warm = None
+    state = dict(warm) if warm else {}
+    warm_started = bool(state)
 
     def inner(lam: float):
-        nonlocal total_iters, x_warm
+        nonlocal total_iters, state
         if method == METHOD_IPM:
-            res = solve_qp_ipm(lam * Q, c + lam * g, A, l, u, **qp_kwargs)
+            res = solve_qp_ipm(
+                lam * Q,
+                c + lam * g,
+                A,
+                l,
+                u,
+                warm=state or None,
+                workspace=workspace,
+                **qp_kwargs,
+            )
+            state = {"x": res.x, "z": res.info.get("z")}
         else:
-            res = solve_qp(lam * Q, c + lam * g, A, l, u, x0=x_warm, **qp_kwargs)
-            x_warm = res.x
+            res = solve_qp(
+                lam * Q,
+                c + lam * g,
+                A,
+                l,
+                u,
+                x0=state.get("x"),
+                y0=state.get("y"),
+                **qp_kwargs,
+            )
+            state = {"x": res.x, "y": res.info.get("y")}
         total_iters += res.iterations
         return res
 
@@ -117,6 +151,7 @@ def solve_qcp(
             r_dual=res.r_dual,
             solve_time=time.perf_counter() - t_start,
             info=info,
+            warm_started=warm_started,
         )
 
     # lam = 0: if already feasible we are done (constraint slack).
@@ -129,8 +164,15 @@ def solve_qcp(
 
     # bracket geometrically from a small multiplier: the optimal lam is
     # the marginal objective cost per unit of quadratic budget, which for
-    # the dose-map programs is typically far below 1
-    lam_lo, lam_hi = 0.0, 1e-4
+    # the dose-map programs is typically far below 1.  A neighbor
+    # problem's multiplier (lam_hint) lands the bracket near the root
+    # immediately.
+    lam_lo = 0.0
+    lam_hi = (
+        float(lam_hint)
+        if lam_hint is not None and np.isfinite(lam_hint) and lam_hint > 0
+        else 1e-4
+    )
     res_hi = inner(lam_hi)
     h_hi = h_of(res_hi)
     steps += 1

@@ -118,6 +118,7 @@ def solve_qp(
     adapt_every: int = 100,
     scaling_iters: int = 10,
     x0=None,
+    y0=None,
 ) -> SolveResult:
     """Solve the QP (see module docstring).
 
@@ -134,6 +135,9 @@ def solve_qp(
         for one-sided constraints and ``l == u`` for equalities.
     x0:
         Optional warm-start point.
+    y0:
+        Optional dual warm start (a previous result's ``info["y"]``);
+        pairs with ``x0`` when chaining sweep points.
 
     Returns
     -------
@@ -172,7 +176,13 @@ def solve_qp(
 
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float) / d
     z = np.clip(As @ x, ls, us)
-    y = np.zeros(m)
+    # duals live in the scaled space: y_unscaled = e * y / c
+    y = (
+        np.zeros(m)
+        if y0 is None
+        else np.asarray(y0, dtype=float) * c / e
+    )
+    warm_started = x0 is not None or y0 is not None
 
     r_prim_u = r_dual_u = np.inf
     iters_done = max_iter
@@ -247,4 +257,5 @@ def solve_qp(
         r_dual=r_dual_u,
         solve_time=time.perf_counter() - t_start,
         info={"rho": rho_scalar, "y": e * y / c},
+        warm_started=warm_started,
     )

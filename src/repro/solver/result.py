@@ -34,6 +34,10 @@ class SolveResult:
         Wall-clock seconds.
     info:
         Solver-specific extras (e.g. QCP's multiplier ``lam``).
+    warm_started:
+        True when the solve was seeded from a previous solution (sweep
+        neighbor, QCP bisection predecessor, or guard retry) rather than
+        the solver's cold default point.
     """
 
     status: str
@@ -44,14 +48,16 @@ class SolveResult:
     r_dual: float
     solve_time: float
     info: dict = field(default_factory=dict)
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_SOLVED
 
     def __repr__(self):
+        warm = ", warm" if self.warm_started else ""
         return (
             f"SolveResult({self.status}, obj={self.obj:.6g}, "
             f"iters={self.iterations}, r_prim={self.r_prim:.2e}, "
-            f"r_dual={self.r_dual:.2e}, {self.solve_time:.2f}s)"
+            f"r_dual={self.r_dual:.2e}, {self.solve_time:.2f}s{warm})"
         )

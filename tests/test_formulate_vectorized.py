@@ -1,0 +1,215 @@
+"""Differential tests: vectorized formulation assembly vs the loop builder.
+
+The block-wise COO backend (:func:`_assemble_vector`) must emit exactly
+the matrices the readable per-gate ``add_row`` reference emits -- same
+``A`` entries (compared as canonically sorted COO triplets), same
+bounds, same leakage quadratic, same row bookkeeping -- for any design,
+layer setting, and seam setting.  Plus the formulation cache/retarget
+contract and the ``REPRO_FORMULATE_BACKEND`` dispatch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DesignContext
+from repro.core.formulate import (
+    BACKEND_REFERENCE,
+    BACKEND_VECTOR,
+    build_formulation,
+    resolve_formulate_backend,
+)
+from repro.library import CellLibrary
+from repro.netlist import Netlist
+from repro.netlist.designs import DesignBundle
+
+import random
+
+
+@pytest.fixture(scope="module")
+def lib65():
+    return CellLibrary("65nm")
+
+
+@pytest.fixture(scope="module")
+def aes_ctx():
+    return DesignContext("AES-65")
+
+
+@pytest.fixture(scope="module")
+def aes_ctx_w():
+    return DesignContext("AES-65", fit_width=True)
+
+
+def canonical_coo(A):
+    """(row, col, val) triplets sorted row-major for exact comparison."""
+    c = A.tocoo()
+    order = np.lexsort((c.col, c.row))
+    return c.row[order], c.col[order], c.data[order]
+
+
+def assert_formulations_identical(ref, vec):
+    assert ref.A.shape == vec.A.shape
+    r1, c1, d1 = canonical_coo(ref.A)
+    r2, c2, d2 = canonical_coo(vec.A)
+    assert np.array_equal(r1, r2)
+    assert np.array_equal(c1, c2)
+    assert np.array_equal(d1, d2), "A values differ"
+    assert np.array_equal(ref.l, vec.l)
+    assert np.array_equal(ref.u, vec.u)
+    assert np.array_equal(ref.P_leak.toarray(), vec.P_leak.toarray())
+    assert np.array_equal(ref.q_leak, vec.q_leak)
+    assert ref.row_clock == vec.row_clock
+    assert ref.idx_T == vec.idx_T
+    assert ref.n_gates == vec.n_gates
+    assert ref.gate_grid == vec.gate_grid
+    assert ref.gate_order == vec.gate_order
+    assert ref.n_range_rows == vec.n_range_rows
+    assert ref.n_smooth_rows == vec.n_smooth_rows
+
+
+def both_backends(ctx, grid_size, **kwargs):
+    ref = build_formulation(ctx, grid_size, backend=BACKEND_REFERENCE, **kwargs)
+    vec = build_formulation(ctx, grid_size, backend=BACKEND_VECTOR, **kwargs)
+    return ref, vec
+
+
+class TestDifferentialFixedDesign:
+    @pytest.mark.parametrize("seam", [False, True])
+    @pytest.mark.parametrize("grid", [5.0, 10.0, 30.0])
+    def test_poly_only(self, aes_ctx, grid, seam):
+        ref, vec = both_backends(aes_ctx, grid, seam_smoothness=seam)
+        assert_formulations_identical(ref, vec)
+
+    @pytest.mark.parametrize("seam", [False, True])
+    @pytest.mark.parametrize("both_layers", [False, True])
+    def test_both_layers(self, aes_ctx_w, both_layers, seam):
+        ref, vec = both_backends(
+            aes_ctx_w, 10.0, both_layers=both_layers, seam_smoothness=seam
+        )
+        assert_formulations_identical(ref, vec)
+
+    def test_nondefault_bounds(self, aes_ctx):
+        ref, vec = both_backends(
+            aes_ctx, 10.0, dose_range=3.5, smoothness=1.25
+        )
+        assert_formulations_identical(ref, vec)
+
+    def test_small_dense_equality(self, lib65):
+        """On a tiny DAG the dense matrices must match element-wise."""
+        ctx = _random_dag_context(seed=5, n_gates=25, lib=lib65)
+        ref, vec = both_backends(ctx, 10.0)
+        assert np.array_equal(ref.A.toarray(), vec.A.toarray())
+
+
+def _random_dag_context(seed, n_gates, lib):
+    """A DesignContext over a random placed DAG (every cell placed)."""
+    rng = random.Random(seed)
+    comb = ["INVX1", "INVX2", "NAND2X1", "NOR2X1", "BUFX1"]
+    comb = [m for m in comb if m in lib.masters]
+    seq = lib.sequential_names[:1]
+    nl = Netlist(f"rand{seed}")
+    nl.add_primary_input("pi0")
+    nl.add_primary_input("pi1")
+    nets = ["pi0", "pi1"]
+    for i in range(n_gates):
+        out = f"n{i}"
+        if seq and rng.random() < 0.15:
+            nl.add_gate(f"g{i}", seq[0], [rng.choice(nets)], out)
+        else:
+            master = rng.choice(comb)
+            n_in = 2 if ("NAND" in master or "NOR" in master) else 1
+            ins = [rng.choice(nets) for _ in range(n_in)]
+            nl.add_gate(f"g{i}", master, ins, out)
+        nets.append(out)
+    for name, net in nl.nets.items():
+        if not net.sinks and not net.is_primary_input:
+            nl.add_primary_output(name)
+    bundle = DesignBundle(
+        name=f"rand{seed}",
+        netlist=nl,
+        library=lib,
+        die_width=60.0,
+        die_height=10.8,
+    )
+    return DesignContext(bundle)
+
+
+class TestDifferentialRandomDAGs:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10_000),
+        n_gates=st.integers(10, 120),
+        seam=st.booleans(),
+    )
+    def test_random_dag(self, lib65, seed, n_gates, seam):
+        ctx = _random_dag_context(seed, n_gates, lib65)
+        ref, vec = both_backends(ctx, 5.0, seam_smoothness=seam)
+        assert_formulations_identical(ref, vec)
+
+
+class TestBackendDispatch:
+    def test_resolve_names(self):
+        assert resolve_formulate_backend("vector") == BACKEND_VECTOR
+        assert resolve_formulate_backend("reference") == BACKEND_REFERENCE
+        with pytest.raises(ValueError):
+            resolve_formulate_backend("nope")
+
+    def test_default_follows_session_backend(self, aes_ctx):
+        from repro.core.formulate import DEFAULT_FORMULATE_BACKEND
+
+        form = build_formulation(aes_ctx, 30.0)
+        assert form.backend == resolve_formulate_backend(
+            DEFAULT_FORMULATE_BACKEND
+        )
+
+    def test_env_override(self, aes_ctx, monkeypatch):
+        import repro.core.formulate as formulate
+
+        monkeypatch.setattr(
+            formulate, "DEFAULT_FORMULATE_BACKEND", "reference"
+        )
+        form = build_formulation(aes_ctx, 30.0)
+        assert form.backend == BACKEND_REFERENCE
+
+
+class TestFormulationCacheRetarget:
+    def test_cache_hit_shares_matrices(self, aes_ctx):
+        f1 = aes_ctx.formulation_for(10.0)
+        f2 = aes_ctx.formulation_for(10.0)
+        assert f2.A is f1.A
+        assert f2.P_leak is f1.P_leak
+
+    def test_retarget_only_changes_bounds(self, aes_ctx):
+        f1 = aes_ctx.formulation_for(10.0, dose_range=5.0, smoothness=2.0)
+        f2 = aes_ctx.formulation_for(10.0, dose_range=4.0, smoothness=1.0)
+        assert f2.A is f1.A  # structure shared, no reassembly
+        assert f2.shared is f1.shared  # solver workspaces carry over
+        fresh = build_formulation(
+            aes_ctx, 10.0, dose_range=4.0, smoothness=1.0
+        )
+        assert np.array_equal(f2.l, fresh.l)
+        assert np.array_equal(f2.u, fresh.u)
+
+    def test_retarget_matches_fresh_build_everywhere(self, aes_ctx):
+        f = aes_ctx.formulation_for(30.0, dose_range=2.5, smoothness=0.75)
+        fresh = build_formulation(
+            aes_ctx, 30.0, dose_range=2.5, smoothness=0.75
+        )
+        assert_formulations_identical(fresh, f)
+
+    def test_retarget_noop_returns_self(self, aes_ctx):
+        f1 = aes_ctx.formulation_for(10.0)
+        assert f1.retarget() is f1
+        assert f1.retarget(dose_range=f1.dose_range) is f1
+
+    def test_distinct_structures_cached_separately(self, aes_ctx):
+        f1 = aes_ctx.formulation_for(10.0)
+        f2 = aes_ctx.formulation_for(10.0, seam_smoothness=True)
+        assert f1.A.shape[0] < f2.A.shape[0]
+        assert aes_ctx.formulation_for(10.0).A is f1.A
