@@ -95,6 +95,11 @@ def _cmd_optimize(args) -> int:
         smoothness=args.smoothness,
         dose_range=args.dose_range,
     )
+    if not flow.dmopt.ok:
+        print(f"dose-map solve failed ({flow.dmopt.status}); "
+              "baseline numbers reported")
+        if flow.dmopt.infeasibility is not None:
+            print(flow.dmopt.infeasibility.summary())
     print(flow.summary())
     print()
     print(report_dose_map(flow.dmopt.dose_map_poly,
@@ -110,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Dose map and placement co-optimization "
         "(DAC'08/TCAD'10 reproduction)",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL run manifest (solver traces, stage timings); "
+        "optional PATH overrides the default "
+        "(REPRO_TELEMETRY_PATH or repro_telemetry.jsonl)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -160,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace is not None:
+        from repro import telemetry
+
+        telemetry.configure(
+            enabled=True,
+            path=None if args.trace is True else args.trace,
+        )
     return args.func(args)
 
 

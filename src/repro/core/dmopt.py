@@ -23,15 +23,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
 from repro.core.formulate import Formulation, build_formulation
 from repro.core.snap import SNAP_CEIL, SNAP_NEAREST, snap_dose_map
 from repro.solver import (
     METHOD_IPM,
+    InfeasibilityReport,
     SolveResult,
+    diagnose_infeasibility,
     solve_qcp,
-    solve_qp,
-    solve_qp_ipm,
+    solve_qp_robust,
 )
 
 MODE_QP = "qp"
@@ -72,6 +74,16 @@ class DMoptResult:
     solve: SolveResult
     formulation: Formulation
     runtime: float
+    infeasibility: InfeasibilityReport = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the solve converged and the dose maps are usable."""
+        return self.solve.ok
+
+    @property
+    def status(self) -> str:
+        return self.solve.status
 
     @property
     def mct_improvement_pct(self) -> float:
@@ -84,6 +96,13 @@ class DMoptResult:
         )
 
     def __repr__(self):
+        if not self.ok:
+            detail = (
+                self.infeasibility.summary()
+                if self.infeasibility is not None
+                else self.solve.info.get("note", "")
+            )
+            return f"DMoptResult({self.mode}, {self.status}: {detail})"
         return (
             f"DMoptResult({self.mode}, MCT {self.baseline_mct:.3f}->"
             f"{self.mct:.3f} ns ({self.mct_improvement_pct:+.2f}%), leakage "
@@ -187,54 +206,50 @@ def optimize_dose_map(
     solver_ws = form.shared.setdefault(("ipm_ws", mode), {})
 
     def _solve_and_sign_off(tau, warm):
-        if mode == MODE_QP:
-            u = form.u.copy()
-            u[form.row_clock] = tau
-            if method == METHOD_IPM:
-                solve = solve_qp_ipm(
+        with telemetry.stage(f"dmopt-solve-{mode}"):
+            if mode == MODE_QP:
+                u = form.u.copy()
+                u[form.row_clock] = tau
+                solve = solve_qp_robust(
                     form.P_leak,
                     form.q_leak,
                     form.A,
                     form.l,
                     u,
+                    method=method,
+                    qp_kwargs=qp_kwargs,
                     warm=_warm_state(warm),
                     workspace=solver_ws,
-                    **qp_kwargs,
                 )
             else:
-                solve = solve_qp(
-                    form.P_leak,
-                    form.q_leak,
+                c = np.zeros(form.n_vars)
+                c[form.idx_T] = 1.0
+                budget = (
+                    float(leakage_budget) - leakage_guard * ctx.baseline_leakage
+                )
+                solve = solve_qcp(
+                    c,
                     form.A,
                     form.l,
-                    u,
-                    x0=warm.x if warm is not None else None,
-                    y0=warm.info.get("y") if warm is not None else None,
-                    **qp_kwargs,
+                    form.u,
+                    form.P_leak,
+                    form.q_leak,
+                    s=budget,
+                    method=method,
+                    qp_kwargs=qp_kwargs,
+                    warm=_warm_state(warm),
+                    lam_hint=warm.info.get("lam") if warm is not None else None,
+                    workspace=solver_ws,
                 )
-        else:
-            c = np.zeros(form.n_vars)
-            c[form.idx_T] = 1.0
-            budget = float(leakage_budget) - leakage_guard * ctx.baseline_leakage
-            solve = solve_qcp(
-                c,
-                form.A,
-                form.l,
-                form.u,
-                form.P_leak,
-                form.q_leak,
-                s=budget,
-                method=method,
-                qp_kwargs=qp_kwargs,
-                warm=_warm_state(warm),
-                lam_hint=warm.info.get("lam") if warm is not None else None,
-                workspace=solver_ws,
-            )
-        poly, active, t_pred = form.split(solve.x)
-        poly = snap_dose_map(poly, ctx.library, mode=snap_mode)
-        if active is not None:
-            active = snap_dose_map(active, ctx.library, mode=snap_mode)
-        golden, leak = ctx.golden_eval(poly, active)
+        if solve.failed:
+            # never sign off on a failed iterate: no snap, no golden eval
+            return solve, None, None, float("nan"), None, float("nan")
+        with telemetry.stage("dmopt-signoff"):
+            poly, active, t_pred = form.split(solve.x)
+            poly = snap_dose_map(poly, ctx.library, mode=snap_mode)
+            if active is not None:
+                active = snap_dose_map(active, ctx.library, mode=snap_mode)
+            golden, leak = ctx.golden_eval(poly, active)
         return solve, poly, active, t_pred, golden, leak
 
     if mode == MODE_QP and timing_bound is None:
@@ -248,7 +263,8 @@ def optimize_dose_map(
     )
 
     if (
-        mode == MODE_QP
+        solve.ok
+        and mode == MODE_QP
         and timing_bound is None
         and timing_guard > 0
         and leak > ctx.baseline_leakage
@@ -258,9 +274,50 @@ def optimize_dose_map(
         # the guard (tau = baseline MCT), warm-started from the guarded
         # solution (only the clock bound moved)
         retry = _solve_and_sign_off(ctx.baseline.mct, solve)
-        if retry[5] < leak:
+        if retry[0].ok and retry[5] < leak:
             solve, poly, active, t_pred, golden, leak = retry
 
+    if solve.failed:
+        # degrade gracefully: attribute the failure to a constraint
+        # family, hand back the untouched baseline (zero delta doses)
+        with telemetry.stage("dmopt-diagnose"):
+            report = diagnose_infeasibility(
+                form, tau=tau, qp_kwargs=qp_kwargs
+            )
+        poly, active, _ = form.split(np.zeros(form.n_vars))
+        telemetry.emit(
+            "dmopt",
+            mode=mode,
+            status=solve.status,
+            grid_size=float(grid_size),
+            blocking=report.blocking,
+            seconds=time.perf_counter() - t_start,
+        )
+        return DMoptResult(
+            mode=mode,
+            dose_map_poly=poly,
+            dose_map_active=active,
+            mct=ctx.baseline.mct,
+            leakage=ctx.baseline_leakage,
+            baseline_mct=ctx.baseline.mct,
+            baseline_leakage=ctx.baseline_leakage,
+            predicted_T=float("nan"),
+            predicted_delta_leakage=float("nan"),
+            solve=solve,
+            formulation=form,
+            runtime=time.perf_counter() - t_start,
+            infeasibility=report,
+        )
+
+    telemetry.emit(
+        "dmopt",
+        mode=mode,
+        status=solve.status,
+        grid_size=float(grid_size),
+        mct=golden.mct,
+        leakage=leak,
+        seconds=time.perf_counter() - t_start,
+    )
     return DMoptResult(
         mode=mode,
         dose_map_poly=poly,

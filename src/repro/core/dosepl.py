@@ -22,6 +22,7 @@ import math
 import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.placement import incident_hpwl, legalize
 from repro.sta import top_k_paths
 
@@ -321,13 +322,16 @@ def run_dosepl(ctx, dose_map, placement=None, config: DoseplConfig = None):
         )
         if swaps_done == 0:
             history.append((rnd, best_mct, best_leak))
+            telemetry.emit("dosepl_round", round=rnd, swaps=0,
+                           accepted=False, mct=best_mct)
             continue
         # legalize + "ECO route": parasitics recomputed from new geometry
         trial = legalize(work, ctx.netlist, ctx.library)
         trial_res, trial_leak = ctx.golden_eval(
             dose_map, placement=trial
         )
-        if trial_res.mct < best_mct - 1e-12:
+        round_accepted = trial_res.mct < best_mct - 1e-12
+        if round_accepted:
             place, golden = trial, trial_res
             best_mct, best_leak = trial_res.mct, trial_leak
             accepted += 1
@@ -339,7 +343,19 @@ def run_dosepl(ctx, dose_map, placement=None, config: DoseplConfig = None):
             ctx, dose_map, work, place, timer, doses
         )
         history.append((rnd, best_mct, best_leak))
+        telemetry.emit("dosepl_round", round=rnd, swaps=swaps_done,
+                       accepted=round_accepted, mct=best_mct)
 
+    telemetry.emit(
+        "dosepl",
+        rounds_run=cfg.rounds,
+        swaps_accepted=accepted,
+        swaps_attempted=stats["attempted"],
+        trial_rejected=stats["trial_rejected"],
+        mct=best_mct,
+        baseline_mct=baseline_mct,
+        seconds=time.perf_counter() - t_start,
+    )
     return DoseplResult(
         placement=place,
         mct=best_mct,

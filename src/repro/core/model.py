@@ -43,6 +43,13 @@ class DesignContext:
         self.bundle = bundle
         self.netlist = bundle.netlist
         self.library = bundle.library
+        if not self.netlist.gates:
+            # fail here with a clear message instead of deep inside the
+            # STA engine's array assembly
+            raise ValueError(
+                f"netlist {self.netlist.name!r} has no gates: nothing to "
+                "analyze or optimize"
+            )
         self.placement = placement if placement is not None else place_design(
             bundle, seed=seed
         )
@@ -87,6 +94,9 @@ class DesignContext:
             smoothness = DEFAULT_SMOOTHNESS
         key = (float(grid_size), bool(both_layers), bool(seam_smoothness))
         form = self._formulation_cache.get(key)
+        if form is not None and self._formulation_stale(form, grid_size,
+                                                        both_layers):
+            form = None
         if form is None or (backend is not None and form.backend != backend):
             form = build_formulation(
                 self,
@@ -99,6 +109,29 @@ class DesignContext:
             )
             self._formulation_cache[key] = form
         return form.retarget(dose_range=dose_range, smoothness=smoothness)
+
+    def _formulation_stale(self, form, grid_size: float,
+                           both_layers: bool) -> bool:
+        """Whether a cached formulation no longer matches this design.
+
+        The cache key carries ``grid_size``, but the grid's M x N counts
+        derive from the *die* dimensions too: if the placement (and with
+        it the die outline) was swapped or resized after the formulation
+        was assembled, the cached ``A`` indexes a grid that no longer
+        exists.  Same for the layer set (``both_layers`` doubles the
+        dose variables).
+        """
+        from repro.dosemap.grid import GridPartition
+
+        if bool(form.both_layers) != bool(both_layers):
+            return True
+        die = self.placement.die
+        fresh = GridPartition(die.width, die.height, grid_size)
+        part = form.partition
+        return (part.m, part.n) != (fresh.m, fresh.n) or (
+            part.width,
+            part.height,
+        ) != (fresh.width, fresh.height)
 
     # ------------------------------------------------------------------
     def delay_fit_for(self, gate_name: str):

@@ -127,18 +127,33 @@ def dmopt_dose_range_sweep(
     Returns the list of :class:`~repro.core.dmopt.DMoptResult` in
     ``dose_ranges`` order.
     """
+    from repro import telemetry
     from repro.core.dmopt import optimize_dose_map
 
     results = []
     prev = None
     for dose_range in dose_ranges:
+        # a failed neighbor is a poisonous seed: fall back to cold
+        seed = (
+            prev.solve
+            if (warm_start and prev is not None and prev.ok)
+            else None
+        )
         res = optimize_dose_map(
             ctx,
             grid_size,
             mode=mode,
             dose_range=float(dose_range),
-            warm_start=prev.solve if (warm_start and prev is not None) else None,
+            warm_start=seed,
             **dmopt_kwargs,
+        )
+        telemetry.emit(
+            "sweep_point",
+            dose_range=float(dose_range),
+            status=res.status,
+            mct=res.mct,
+            leakage=res.leakage,
+            warm=seed is not None,
         )
         results.append(res)
         prev = res

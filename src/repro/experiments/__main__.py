@@ -72,7 +72,25 @@ def main(argv=None) -> int:
         help="worker processes for the DMopt tables (4/5/6); 0 = all "
         "cores; default: REPRO_JOBS env or serial",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL run manifest (solver traces, stage timings); "
+        "optional PATH overrides the default "
+        "(REPRO_TELEMETRY_PATH or repro_telemetry.jsonl)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro import telemetry
+
+        telemetry.configure(
+            enabled=True,
+            path=None if args.trace is True else args.trace,
+        )
 
     if args.list:
         for name in EXPERIMENTS:

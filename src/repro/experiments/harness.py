@@ -9,18 +9,22 @@ The table drivers' DMopt cells -- independent (design, grid, mode,
 dose-range) evaluations -- can be fanned across processes with
 :func:`run_dmopt_cells`.  Determinism guarantee: each worker rebuilds
 its design context from the same seeds the serial path uses and results
-are returned in input order (``ProcessPoolExecutor.map``), so a parallel
-run produces byte-identical rows to a serial run of the same cells.
-Worker count comes from the ``REPRO_JOBS`` environment variable or the
-experiment CLI's ``--jobs`` flag (see :func:`resolve_jobs`).
+are gathered in input order, so a parallel run produces byte-identical
+rows to a serial run of the same cells.  A worker that crashes or is
+killed mid-cell is retried serially in the parent (see
+:func:`parallel_map`), so the result list is hole-free even on a lossy
+pool.  Worker count comes from the ``REPRO_JOBS`` environment variable
+or the experiment CLI's ``--jobs`` flag (see :func:`resolve_jobs`).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
 
 
@@ -103,21 +107,47 @@ def resolve_jobs(jobs: int = None) -> int:
     return max(1, jobs)
 
 
-def parallel_map(fn, items, jobs: int = None) -> list:
+def parallel_map(fn, items, jobs: int = None,
+                 retry_serial: bool = True) -> list:
     """Map ``fn`` over ``items``, optionally across processes.
 
-    Results always come back in input order (``executor.map`` preserves
-    it), so callers see identical output whether the run was serial or
-    parallel.  ``jobs <= 1`` short-circuits to a plain loop with zero
-    multiprocessing overhead; ``fn`` and each item must be picklable
-    otherwise.
+    Results always come back in input order (futures are gathered by
+    submission index), so callers see identical output whether the run
+    was serial or parallel.  ``jobs <= 1`` short-circuits to a plain
+    loop with zero multiprocessing overhead; ``fn`` and each item must
+    be picklable otherwise.
+
+    With ``retry_serial`` (default), an item whose worker raised -- or
+    whose whole process died (``BrokenProcessPool``: OOM kill, hard
+    crash) -- is re-run serially in the parent instead of poisoning the
+    run, so the result list is hole-free and deterministic.  Each retry
+    is recorded as a ``worker_retry`` telemetry event; an item that
+    fails again in the parent raises normally (a real bug, not a worker
+    casualty).
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), max(len(items), 1))
     if jobs <= 1:
         return [fn(item) for item in items]
+    results = [None] * len(items)
+    failed = []
     with ProcessPoolExecutor(max_workers=jobs) as ex:
-        return list(ex.map(fn, items))
+        futures = [ex.submit(fn, item) for item in items]
+        for idx, fut in enumerate(futures):
+            try:
+                results[idx] = fut.result()
+            except Exception as exc:  # incl. BrokenProcessPool
+                if not retry_serial:
+                    raise
+                failed.append((idx, exc))
+    for idx, exc in failed:
+        telemetry.emit(
+            "worker_retry",
+            index=idx,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        results[idx] = fn(items[idx])
+    return results
 
 
 @dataclass(frozen=True)
@@ -198,6 +228,18 @@ def run_dmopt_cells(cells, jobs: int = None) -> list:
 
     Returns one result dict per cell, in ``cells`` order regardless of
     worker scheduling.  With ``jobs=1`` (the default absent
-    ``REPRO_JOBS``) this is a plain serial loop.
+    ``REPRO_JOBS``) this is a plain serial loop.  A crashed or killed
+    worker does not hole the results: its cell is re-run serially in
+    the parent and the retry is recorded in the telemetry manifest.
     """
-    return parallel_map(run_dmopt_cell, list(cells), jobs=jobs)
+    cells = list(cells)
+    t0 = time.perf_counter()
+    telemetry.emit("run_begin", run="dmopt_cells", n_cells=len(cells),
+                   jobs=resolve_jobs(jobs))
+    results = parallel_map(run_dmopt_cell, cells, jobs=jobs)
+    for idx, (cell, res) in enumerate(zip(cells, results)):
+        telemetry.emit("cell_done", index=idx, design=cell.design,
+                       status=res["status"])
+    telemetry.emit("run_end", run="dmopt_cells",
+                   seconds=time.perf_counter() - t0)
+    return results

@@ -34,7 +34,11 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import telemetry
+from repro.solver.guards import prevalidate
 from repro.solver.result import (
+    STATUS_DIVERGED,
+    STATUS_ILL_CONDITIONED,
     STATUS_INFEASIBLE,
     STATUS_MAX_ITER,
     STATUS_SOLVED,
@@ -232,6 +236,7 @@ def solve_qp_ipm(
     x0=None,
     warm: dict = None,
     workspace: dict = None,
+    reg: float = 1e-9,
 ) -> SolveResult:
     """Interior-point solve of ``min (1/2)x'Px + q'x s.t. l <= Ax <= u``.
 
@@ -250,12 +255,20 @@ def solve_qp_ipm(
         Optional mutable dict; the :class:`IPMWorkspace` built for this
         problem's sparsity is stored under ``"ws"`` and reused by later
         calls whose pattern matches (retargeted formulations).
+    reg:
+        Diagonal regularization added to the normal matrix.  The
+        default keeps it positive definite when ``P`` has a null space;
+        the fallback chain retries ill-conditioned solves with a much
+        larger value (see :func:`repro.solver.robust.solve_qp_robust`).
 
     Returns
     -------
     SolveResult
         ``info`` carries ``z`` (inequality duals) for warm-start
-        chaining and ``mu`` (final complementarity).
+        chaining and ``mu`` (final complementarity).  Degenerate inputs
+        (``l > u``, no finite constraints) and numeric failures come
+        back as diagnostic statuses (``infeasible`` / ``diverged`` /
+        ``ill_conditioned``), never exceptions.
     """
     t_start = time.perf_counter()
     P = sp.csc_matrix(P)
@@ -267,12 +280,10 @@ def solve_qp_ipm(
     l = np.asarray(l, dtype=float).ravel()
     u = np.asarray(u, dtype=float).ravel()
     n = q.size
-    if P.shape != (n, n) or A.shape[1] != n:
-        raise ValueError("inconsistent problem dimensions")
-    if l.size != A.shape[0] or u.size != A.shape[0]:
-        raise ValueError("bounds must match the constraint count")
-    if np.any(l > u + 1e-12):
-        raise ValueError("found l > u: trivially infeasible bounds")
+    short_circuit = prevalidate(P, q, A, l, u, t_start)
+    if short_circuit is not None:
+        _emit_solve(short_circuit)
+        return short_circuit
 
     ws = None
     if workspace is not None:
@@ -290,9 +301,8 @@ def solve_qp_ipm(
     scale_obj = max(1.0, float(np.linalg.norm(q, np.inf)))
     scale_h = max(1.0, float(np.linalg.norm(h, np.inf)))
 
-    # a small primal regularization keeps the normal matrix positive
-    # definite even when P has a null space
-    reg = 1e-9
+    # per-iteration residual trace, recorded only when telemetry is on
+    trace = [] if telemetry.enabled() else None
 
     if warm is None and x0 is not None:
         warm = {"x": x0}
@@ -329,11 +339,13 @@ def solve_qp_ipm(
         r_dual = P @ x + q + Gt @ z
         r_prim = G @ x + s - h
         mu = float(s @ z) / m
+        rp_norm = float(np.linalg.norm(r_prim, np.inf))
+        rd_norm = float(np.linalg.norm(r_dual, np.inf))
+        if trace is not None:
+            trace.append((it, mu, rp_norm, rd_norm))
 
-        if (
-            np.linalg.norm(r_prim, np.inf) <= tol * scale_h
-            and np.linalg.norm(r_dual, np.inf) <= tol * scale_obj
-            and mu <= tol
+        if rp_norm <= tol * scale_h and rd_norm <= tol * scale_obj and (
+            mu <= tol
         ):
             status = STATUS_SOLVED
             iters_done = it - 1
@@ -346,7 +358,12 @@ def solve_qp_ipm(
         try:
             lu = spla.splu(normal)
         except RuntimeError:
-            break  # singular system: return best effort
+            # singular normal system: stop on the best iterate so far
+            # and let the fallback chain retry with stronger
+            # regularization or the ADMM backend
+            status = STATUS_ILL_CONDITIONED
+            iters_done = it
+            break
 
         def _solve_step(r1, r2):
             dx = lu.solve(r1 + Gt @ (w_inv * r2))
@@ -368,13 +385,25 @@ def solve_qp_ipm(
 
         eta = 0.99 if mu > 1e-6 else 0.999
         alpha = eta * min(_max_step(s, ds), _max_step(z, dz))
+        x_prev, s_prev, z_prev = x, s, z
         x = x + alpha * dx
         s = s + alpha * ds
         z = z + alpha * dz
 
-        # divergence check: an infeasible problem drives the duals to
-        # infinity while the primal residual stalls
-        if not np.all(np.isfinite(x)) or float(np.abs(z).max()) > 1e14:
+        if not (
+            np.all(np.isfinite(x))
+            and np.all(np.isfinite(s))
+            and np.all(np.isfinite(z))
+        ):
+            # numeric blow-up: restore the last finite iterate and stamp
+            # the result so callers cannot mistake it for a solution
+            x, s, z = x_prev, s_prev, z_prev
+            status = STATUS_DIVERGED
+            iters_done = it
+            break
+        if float(np.abs(z).max()) > 1e14:
+            # an infeasible problem drives the duals to infinity while
+            # the primal residual stalls
             status = STATUS_INFEASIBLE
             iters_done = it
             break
@@ -391,7 +420,17 @@ def solve_qp_ipm(
         status = STATUS_SOLVED
 
     obj = float(0.5 * x @ (P @ x) + q @ x)
-    return SolveResult(
+    info = {"mu": mu, "z": z}
+    if status in (STATUS_DIVERGED, STATUS_ILL_CONDITIONED):
+        info["note"] = (
+            "non-finite iterate: last finite iterate returned"
+            if status == STATUS_DIVERGED
+            else "singular normal system: best iterate returned"
+        )
+        info["failed_at_iter"] = iters_done
+    if trace is not None:
+        info["trace"] = trace
+    result = SolveResult(
         status=status,
         x=x,
         obj=obj,
@@ -399,6 +438,25 @@ def solve_qp_ipm(
         r_prim=float(np.linalg.norm(r_prim, np.inf)),
         r_dual=float(np.linalg.norm(r_dual, np.inf)),
         solve_time=time.perf_counter() - t_start,
-        info={"mu": mu, "z": z},
+        info=info,
         warm_started=warm_started,
+    )
+    _emit_solve(result)
+    return result
+
+
+def _emit_solve(result: SolveResult):
+    if not telemetry.enabled():
+        return
+    telemetry.emit(
+        "solve",
+        backend="ipm",
+        status=result.status,
+        iterations=result.iterations,
+        r_prim=result.r_prim,
+        r_dual=result.r_dual,
+        seconds=result.solve_time,
+        warm_started=result.warm_started,
+        trace=result.info.get("trace"),
+        note=result.info.get("note"),
     )

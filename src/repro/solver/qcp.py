@@ -25,12 +25,9 @@ import time
 import numpy as np
 import scipy.sparse as sp
 
-from repro.solver.qp import solve_qp
-from repro.solver.ipm import solve_qp_ipm
+from repro import telemetry
+from repro.solver.robust import METHOD_ADMM, METHOD_IPM, solve_qp_robust
 from repro.solver.result import STATUS_MAX_ITER, SolveResult
-
-METHOD_ADMM = "admm"
-METHOD_IPM = "ipm"
 
 
 def _quad_value(Q, g, x) -> float:
@@ -104,30 +101,30 @@ def solve_qcp(
 
     def inner(lam: float):
         nonlocal total_iters, state
-        if method == METHOD_IPM:
-            res = solve_qp_ipm(
-                lam * Q,
-                c + lam * g,
-                A,
-                l,
-                u,
-                warm=state or None,
-                workspace=workspace,
-                **qp_kwargs,
+        res = solve_qp_robust(
+            lam * Q,
+            c + lam * g,
+            A,
+            l,
+            u,
+            method=method,
+            qp_kwargs=qp_kwargs,
+            warm=state or None,
+            workspace=workspace,
+        )
+        # chain state from whichever backend produced the result (the
+        # fallback chain may have switched: z is the IPM dual, y ADMM's)
+        state = {
+            k: v
+            for k, v in (
+                ("x", res.x),
+                ("z", res.info.get("z")),
+                ("y", res.info.get("y")),
             )
-            state = {"x": res.x, "z": res.info.get("z")}
-        else:
-            res = solve_qp(
-                lam * Q,
-                c + lam * g,
-                A,
-                l,
-                u,
-                x0=state.get("x"),
-                y0=state.get("y"),
-                **qp_kwargs,
-            )
-            state = {"x": res.x, "y": res.info.get("y")}
+            if v is not None
+        }
+        if res.failed:
+            state = {}  # a failed iterate is a poisonous seed
         total_iters += res.iterations
         return res
 
@@ -142,8 +139,20 @@ def solve_qcp(
         }
         if note:
             info["note"] = note
+        if "attempts" in res.info:
+            info["attempts"] = res.info["attempts"]
+        final_status = status or res.status
+        telemetry.emit(
+            "qcp",
+            status=final_status,
+            lam=lam,
+            inner_solves=steps,
+            iterations=total_iters,
+            seconds=time.perf_counter() - t_start,
+            note=note,
+        )
         return SolveResult(
-            status=status or res.status,
+            status=final_status,
             x=res.x,
             obj=float(c @ res.x),
             iterations=total_iters,
@@ -156,8 +165,18 @@ def solve_qcp(
 
     # lam = 0: if already feasible we are done (constraint slack).
     res_lo = inner(0.0)
-    h0 = h_of(res_lo)
     steps = 1
+    if res_lo.failed:
+        # the linear constraints alone are infeasible (or the chain
+        # exhausted every backend): surface the diagnosis, don't bisect
+        return _package(
+            res_lo,
+            0.0,
+            steps,
+            note="linear constraint system failed at lam=0: "
+            + res_lo.info.get("note", res_lo.status),
+        )
+    h0 = h_of(res_lo)
     if h0 <= feas_tol * scale:
         return _package(res_lo, 0.0, steps)
     h_scale = max(abs(h0), scale)
@@ -180,8 +199,13 @@ def solve_qcp(
         lam_lo = lam_hi
         lam_hi *= 10.0
         res_hi = inner(lam_hi)
-        h_hi = h_of(res_hi)
         steps += 1
+        if res_hi.failed:
+            return _package(
+                res_hi, lam_hi, steps,
+                note="inner solve failed during bracket expansion",
+            )
+        h_hi = h_of(res_hi)
         if lam_hi > 1e12:
             return _package(
                 res_hi,
@@ -204,8 +228,10 @@ def solve_qcp(
         else:
             lam_mid = 0.5 * (lam_lo + lam_hi)
         res_mid = inner(lam_mid)
-        h_mid = h_of(res_mid)
         steps += 1
+        if res_mid.failed:
+            break  # keep the best bracketed iterate found so far
+        h_mid = h_of(res_mid)
         if h_mid <= feas_tol * h_scale:
             lam_hi, h_hi, res_hi = lam_mid, h_mid, res_mid
             best, best_lam = res_mid, lam_mid

@@ -24,7 +24,10 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import telemetry
+from repro.solver.guards import prevalidate
 from repro.solver.result import (
+    STATUS_DIVERGED,
     STATUS_MAX_ITER,
     STATUS_SOLVED,
     SolveResult,
@@ -152,12 +155,12 @@ def solve_qp(
     l = np.asarray(l, dtype=float).ravel()
     u = np.asarray(u, dtype=float).ravel()
     n, m = P.shape[0], A.shape[0]
-    if P.shape != (n, n) or A.shape[1] != n or q.size != n:
+    if q.size != n:
         raise ValueError("inconsistent problem dimensions")
-    if l.size != m or u.size != m:
-        raise ValueError("bounds must match the constraint count")
-    if np.any(l > u + 1e-12):
-        raise ValueError("found l > u: trivially infeasible bounds")
+    short_circuit = prevalidate(P, q, A, l, u, t_start)
+    if short_circuit is not None:
+        _emit_solve(short_circuit)
+        return short_circuit
     P = 0.5 * (P + P.T)
 
     Ps, qs, As, ls, us, d, e, c = _ruiz_equilibrate(
@@ -186,6 +189,8 @@ def solve_qp(
 
     r_prim_u = r_dual_u = np.inf
     iters_done = max_iter
+    diverged = False
+    finite_snapshot = None
     for k in range(1, max_iter + 1):
         rhs = np.concatenate([_SIGMA * x - qs, z - y / rho])
         x_tilde, nu = kkt.solve(rhs)
@@ -197,6 +202,19 @@ def solve_qp(
         z = z_new
 
         if k % check_every == 0 or k == max_iter:
+            if not (
+                np.all(np.isfinite(x))
+                and np.all(np.isfinite(z))
+                and np.all(np.isfinite(y))
+            ):
+                # numeric blow-up: fall back to the last finite
+                # checkpoint and stamp the result as diverged
+                diverged = True
+                iters_done = k
+                if finite_snapshot is not None:
+                    x, z, y = finite_snapshot
+                break
+            finite_snapshot = (x.copy(), z.copy(), y.copy())
             # unscaled quantities
             x_u = d * x
             z_u = z / e
@@ -232,12 +250,15 @@ def solve_qp(
 
     x_u = d * x
     obj = float(0.5 * x_u @ (P @ x_u) + q @ x_u)
-    status = STATUS_SOLVED if iters_done < max_iter or (
-        r_prim_u <= eps_abs + eps_rel and r_dual_u <= eps_abs + eps_rel
-    ) else STATUS_MAX_ITER
+    if diverged:
+        status = STATUS_DIVERGED
+    else:
+        status = STATUS_SOLVED if iters_done < max_iter or (
+            r_prim_u <= eps_abs + eps_rel and r_dual_u <= eps_abs + eps_rel
+        ) else STATUS_MAX_ITER
     # the break sets iters_done < max_iter only on convergence; a final-
     # iteration convergence is caught by the residual check above
-    if iters_done == max_iter and r_prim_u < np.inf:
+    if status == STATUS_MAX_ITER and r_prim_u < np.inf:
         x_u2 = d * x
         # recheck final residuals against plain tolerances
         ax_u = A @ x_u2
@@ -248,7 +269,15 @@ def solve_qp(
         if r_p <= eps_abs * 10 and r_d <= eps_abs * 10:
             status = STATUS_SOLVED
 
-    return SolveResult(
+    info = {"rho": rho_scalar, "y": e * y / c}
+    if diverged:
+        info["note"] = (
+            "non-finite iterate: last finite checkpoint returned"
+            if finite_snapshot is not None
+            else "non-finite iterate before the first checkpoint"
+        )
+        info["failed_at_iter"] = iters_done
+    result = SolveResult(
         status=status,
         x=x_u,
         obj=obj,
@@ -256,6 +285,24 @@ def solve_qp(
         r_prim=r_prim_u,
         r_dual=r_dual_u,
         solve_time=time.perf_counter() - t_start,
-        info={"rho": rho_scalar, "y": e * y / c},
+        info=info,
         warm_started=warm_started,
+    )
+    _emit_solve(result)
+    return result
+
+
+def _emit_solve(result: SolveResult):
+    if not telemetry.enabled():
+        return
+    telemetry.emit(
+        "solve",
+        backend="admm",
+        status=result.status,
+        iterations=result.iterations,
+        r_prim=result.r_prim,
+        r_dual=result.r_dual,
+        seconds=result.solve_time,
+        warm_started=result.warm_started,
+        note=result.info.get("note"),
     )

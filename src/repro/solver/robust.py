@@ -1,0 +1,173 @@
+"""Solver fallback/retry chain: IPM -> regularized IPM -> ADMM.
+
+The dose-map programs are usually well behaved, but a sweep can hit an
+ill-conditioned normal matrix (singular SuperLU factorization), a
+diverging Mehrotra step, or a warm-start seed that blows up the first
+scaling matrix.  :func:`solve_qp_robust` wraps the two QP backends in a
+status-driven chain so callers (:func:`repro.core.dmopt.optimize_dose_map`,
+the QCP bisection, dosePl) never see an uncaught exception for a
+recoverable numeric failure:
+
+1. primary backend (IPM by default) with the caller's warm state;
+2. on ``diverged`` / ``ill_conditioned`` / ``max_iter``: a **cold,
+   diagonally regularized** retry of the IPM (``reg`` raised from 1e-9
+   to 1e-6 -- enough to factor rank-deficient normal systems without
+   visibly perturbing the optimum);
+3. on continued failure: the ADMM backend (first-order, factorization
+   of a quasi-definite KKT system -- immune to the normal-matrix
+   conditioning that stops the IPM), cold-started.
+
+``infeasible`` is not retried across backends -- no solver can fix an
+infeasible problem -- but a warm-started infeasible verdict is
+re-checked cold once, since a bad seed can masquerade as dual blow-up.
+The full attempt trail is recorded in ``info["attempts"]`` and, when
+telemetry is on, as ``fallback`` events in the run manifest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import telemetry
+from repro.solver.ipm import solve_qp_ipm
+from repro.solver.qp import solve_qp
+from repro.solver.result import STATUS_INFEASIBLE, SolveResult
+
+METHOD_ADMM = "admm"
+METHOD_IPM = "ipm"
+
+#: Normal-matrix regularization used by the chain's IPM retry step.
+RETRY_REG = 1e-6
+
+
+def _residual_score(res: SolveResult) -> float:
+    score = max(res.r_prim, res.r_dual)
+    return score if np.isfinite(score) else np.inf
+
+
+def _ipm(P, q, A, l, u, warm=None, workspace=None, qp_kwargs=None,
+         **overrides):
+    kwargs = dict(qp_kwargs or {})
+    kwargs.update(overrides)
+    return solve_qp_ipm(P, q, A, l, u, warm=warm, workspace=workspace,
+                        **kwargs)
+
+
+def _admm(P, q, A, l, u, warm, qp_kwargs):
+    # Only forward kwargs ADMM understands; IPM-tuned ``max_iter``/
+    # ``tol`` values would cripple a first-order method.
+    kwargs = {
+        k: v
+        for k, v in qp_kwargs.items()
+        if k in ("eps_abs", "eps_rel", "rho0", "check_every",
+                 "adapt_every", "scaling_iters")
+    }
+    warm = warm or {}
+    return solve_qp(P, q, A, l, u, x0=warm.get("x"), y0=warm.get("y"),
+                    **kwargs)
+
+
+def solve_qp_robust(
+    P,
+    q,
+    A,
+    l,
+    u,
+    method: str = METHOD_IPM,
+    qp_kwargs: dict = None,
+    warm: dict = None,
+    workspace: dict = None,
+) -> SolveResult:
+    """QP solve with the fallback/retry chain (see module docstring).
+
+    Parameters
+    ----------
+    method:
+        Primary backend, ``"ipm"`` (default) or ``"admm"``.  The chain
+        always ends on the *other* backend, so a recoverable numeric
+        failure in one formulation of the KKT system is retried in the
+        other.
+    qp_kwargs:
+        Extra keyword arguments for the primary backend (only the
+        ADMM-compatible subset is forwarded on an ADMM fallback).
+    warm:
+        Previous solution state ``{"x": ..., "z": ..., "y": ...}``;
+        superset of both backends' warm formats.  Retry steps always
+        run cold -- a bad seed is one of the failure modes the chain
+        exists to shed.
+    workspace:
+        IPM pattern workspace dict, shared across chain steps and calls.
+
+    Returns
+    -------
+    SolveResult
+        The first converged attempt, else the infeasibility verdict,
+        else the attempt with the smallest KKT residual.
+        ``info["attempts"]`` lists every step taken as
+        ``{step, backend, status, iterations}`` dicts.
+    """
+    if method not in (METHOD_ADMM, METHOD_IPM):
+        raise ValueError(f"method must be 'admm' or 'ipm', got {method!r}")
+    qp_kwargs = dict(qp_kwargs or {})
+    attempts = []
+    results = []
+
+    def run(step: str, backend: str, **call_kwargs):
+        if backend == METHOD_IPM:
+            res = _ipm(P, q, A, l, u, qp_kwargs=qp_kwargs, **call_kwargs)
+        else:
+            res = _admm(P, q, A, l, u, call_kwargs.get("warm"), qp_kwargs)
+        attempts.append(
+            {
+                "step": step,
+                "backend": backend,
+                "status": res.status,
+                "iterations": res.iterations,
+            }
+        )
+        telemetry.emit("fallback", step=step, backend=backend,
+                       status=res.status, iterations=res.iterations,
+                       r_prim=res.r_prim, r_dual=res.r_dual)
+        results.append(res)
+        return res
+
+    def finish(res: SolveResult) -> SolveResult:
+        res.info["attempts"] = attempts
+        return res
+
+    primary, secondary = (
+        (METHOD_IPM, METHOD_ADMM) if method == METHOD_IPM
+        else (METHOD_ADMM, METHOD_IPM)
+    )
+    res = run(primary, primary, warm=warm, workspace=workspace)
+    if res.ok:
+        return finish(res)
+
+    if res.status == STATUS_INFEASIBLE:
+        if not res.warm_started:
+            return finish(res)
+        # a pathological seed can blow up the duals and fake an
+        # infeasibility verdict: confirm cold before reporting
+        res = run(f"{primary}-cold", primary, workspace=workspace)
+        if res.ok or res.status == STATUS_INFEASIBLE:
+            return finish(res)
+
+    if primary == METHOD_IPM:
+        # diverged / ill-conditioned / max_iter: regularize and go cold
+        res = run("ipm-regularized", METHOD_IPM, reg=RETRY_REG)
+        if res.ok or res.status == STATUS_INFEASIBLE:
+            return finish(res)
+
+    res = run(secondary, secondary)
+    if res.ok:
+        return finish(res)
+
+    for candidate in results:
+        if candidate.status == STATUS_INFEASIBLE:
+            return finish(candidate)
+    best = min(results, key=_residual_score)
+    note = "fallback chain exhausted without convergence"
+    if best.info.get("note"):
+        note += f" (best attempt: {best.info['note']})"
+    best.info["note"] = note
+    return finish(best)

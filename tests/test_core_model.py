@@ -139,6 +139,32 @@ class TestFormulation:
         assert active.flat()[0] == g
         assert t == form.n_vars - 1
 
+    def test_formulation_cache_hit_and_granularity(self, ctx):
+        """Same structure key reuses matrices; a new grid size does not."""
+        f1 = ctx.formulation_for(10.0)
+        f2 = ctx.formulation_for(10.0, dose_range=3.0)
+        assert f2.A is f1.A  # retargeted sibling shares the assembly
+        f3 = ctx.formulation_for(5.0)
+        assert f3.A is not f1.A
+        assert f3.partition.n_grids > f1.partition.n_grids
+
+    def test_formulation_cache_invalidated_by_die_change(self):
+        """A die swap under the same grid size must rebuild (stale M x N)."""
+        import dataclasses
+
+        ctx = DesignContext(make_design("AES-65", scale=0.25))
+        f1 = ctx.formulation_for(10.0)
+        die = ctx.placement.die
+        ctx.placement.die = dataclasses.replace(
+            die, width=die.width * 2.0, height=die.height * 2.0
+        )
+        f2 = ctx.formulation_for(10.0)
+        assert f2.A is not f1.A
+        assert (f2.partition.m, f2.partition.n) != (
+            f1.partition.m, f1.partition.n,
+        )
+        assert f2.partition.width == pytest.approx(die.width * 2.0)
+
     def test_leakage_quadratic_is_diagonal_psd(self, ctx):
         form = build_formulation(ctx, grid_size=10.0)
         diag = form.P_leak.diagonal()

@@ -22,6 +22,29 @@ def _square(x):
     return x * x
 
 
+_MAIN_PID = None
+
+
+def _square_or_die(arg):
+    """Crash (hard) in any worker process; succeed in the parent."""
+    import os
+
+    x, main_pid = arg
+    if os.getpid() != main_pid:
+        os._exit(17)  # simulate an OOM kill / segfault, not an exception
+    return x * x
+
+
+def _square_or_raise(arg):
+    """Raise in any worker process; succeed in the parent."""
+    import os
+
+    x, main_pid = arg
+    if os.getpid() != main_pid:
+        raise RuntimeError("worker casualty")
+    return x * x
+
+
 class TestResolveJobs:
     def test_default_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
@@ -57,6 +80,66 @@ class TestParallelMap:
     def test_jobs_capped_by_items(self):
         # must not spawn 8 workers for 2 items; just check correctness
         assert parallel_map(_square, [5, 6], jobs=8) == [25, 36]
+
+
+class TestGracefulDegradation:
+    """A lossy worker pool must not hole or reorder the results."""
+
+    def test_worker_exception_retried_serially(self):
+        import os
+
+        items = [(x, os.getpid()) for x in range(6)]
+        out = parallel_map(_square_or_raise, items, jobs=2)
+        assert out == [x * x for x in range(6)]
+
+    def test_worker_crash_retried_serially(self):
+        import os
+
+        # os._exit in the worker kills the process outright: every
+        # pending future raises BrokenProcessPool, and all items must
+        # still come back, in order, via the parent's serial retry
+        items = [(x, os.getpid()) for x in range(6)]
+        out = parallel_map(_square_or_die, items, jobs=2)
+        assert out == [x * x for x in range(6)]
+
+    def test_retry_disabled_raises(self):
+        import os
+
+        items = [(x, os.getpid()) for x in range(3)]
+        with pytest.raises(Exception):
+            parallel_map(_square_or_raise, items, jobs=2,
+                         retry_serial=False)
+
+    def test_parent_failure_still_raises(self):
+        # an item that fails in the parent too is a real bug: surface it
+        def boom(_):
+            raise ValueError("deterministic failure")
+
+        with pytest.raises(ValueError, match="deterministic failure"):
+            parallel_map(boom, [1], jobs=1)
+
+    def test_retries_recorded_in_manifest(self, tmp_path, monkeypatch):
+        import os
+
+        from repro import telemetry
+
+        manifest = tmp_path / "retry.jsonl"
+        monkeypatch.setenv(telemetry.ENV_FLAG, "1")
+        monkeypatch.setenv(telemetry.ENV_PATH, str(manifest))
+        telemetry.reset()
+        try:
+            items = [(x, os.getpid()) for x in range(4)]
+            out = parallel_map(_square_or_raise, items, jobs=2)
+            assert out == [x * x for x in range(4)]
+        finally:
+            telemetry.reset()
+        events = [
+            __import__("json").loads(line)
+            for line in manifest.read_text().splitlines()
+        ]
+        retries = [e for e in events if e["event"] == "worker_retry"]
+        assert len(retries) == 4
+        assert sorted(e["index"] for e in retries) == [0, 1, 2, 3]
 
 
 SMALL_CELLS = [

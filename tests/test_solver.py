@@ -82,10 +82,14 @@ class TestQPBasics:
         with pytest.raises(ValueError, match="bounds"):
             solve_qp(sp.eye(2), np.zeros(2), sp.eye(2), np.zeros(3), np.ones(2))
 
-    def test_inconsistent_bounds_rejected(self):
-        with pytest.raises(ValueError, match="l > u"):
-            solve_qp(sp.eye(1), np.zeros(1), sp.eye(1),
-                     np.array([2.0]), np.array([1.0]))
+    def test_inconsistent_bounds_diagnosed(self):
+        """l > u returns a diagnostic infeasible result, not a raise."""
+        res = solve_qp(sp.eye(1), np.zeros(1), sp.eye(1),
+                       np.array([2.0]), np.array([1.0]))
+        assert res.status == "infeasible"
+        assert not res.ok
+        assert res.info["n_bound_conflicts"] == 1
+        assert "l > u" in res.info["note"]
 
     def test_warm_start_converges_faster(self):
         rng = np.random.default_rng(3)

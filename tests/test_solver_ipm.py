@@ -65,9 +65,14 @@ class TestIPMBasics:
         with pytest.raises(ValueError, match="dimensions"):
             solve_qp_ipm(sp.eye(2), np.zeros(3), sp.eye(2),
                          np.zeros(2), np.ones(2))
-        with pytest.raises(ValueError, match="l > u"):
-            solve_qp_ipm(sp.eye(1), np.zeros(1), sp.eye(1),
-                         np.array([2.0]), np.array([1.0]))
+
+    def test_inconsistent_bounds_diagnosed(self):
+        """l > u returns a diagnostic infeasible result, not a raise."""
+        res = solve_qp_ipm(sp.eye(1), np.zeros(1), sp.eye(1),
+                           np.array([2.0]), np.array([1.0]))
+        assert res.status == STATUS_INFEASIBLE
+        assert not res.ok
+        assert res.info["n_bound_conflicts"] == 1
 
     def test_high_accuracy(self):
         """IPM should reach much tighter KKT residuals than ADMM."""

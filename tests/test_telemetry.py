@@ -1,0 +1,149 @@
+"""Tests for the structured run telemetry module (repro.telemetry)."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture
+def manifest(tmp_path, monkeypatch):
+    """Telemetry enabled, writing to a per-test manifest; reset after."""
+    path = tmp_path / "run.jsonl"
+    monkeypatch.setenv(telemetry.ENV_FLAG, "1")
+    monkeypatch.setenv(telemetry.ENV_PATH, str(path))
+    telemetry.reset()
+    yield path
+    telemetry.reset()
+
+
+def _events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSink:
+    def test_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(telemetry.ENV_FLAG, raising=False)
+        monkeypatch.setenv(telemetry.ENV_PATH, str(tmp_path / "off.jsonl"))
+        telemetry.reset()
+        try:
+            assert not telemetry.enabled()
+            telemetry.emit("stage", stage="x", seconds=0.0)
+            with telemetry.stage("y"):
+                pass
+            assert not (tmp_path / "off.jsonl").exists()
+        finally:
+            telemetry.reset()
+
+    def test_emit_writes_base_fields(self, manifest):
+        telemetry.emit("run_begin", run="unit")
+        (event,) = _events(manifest)
+        assert event["event"] == "run_begin"
+        assert event["run"] == "unit"
+        assert event["v"] == telemetry.SCHEMA_VERSION
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["pid"], int)
+
+    def test_stage_times_the_block(self, manifest):
+        with telemetry.stage("fit"):
+            pass
+        (event,) = _events(manifest)
+        assert event["event"] == "stage"
+        assert event["stage"] == "fit"
+        assert event["seconds"] >= 0.0
+
+    def test_configure_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(telemetry.ENV_FLAG, raising=False)
+        other = tmp_path / "other.jsonl"
+        telemetry.reset()
+        try:
+            telemetry.configure(enabled=True, path=str(other))
+            telemetry.emit("run_begin", run="configured")
+            assert len(_events(other)) == 1
+            # configure mirrors to env so worker processes inherit it
+            import os
+
+            assert os.environ[telemetry.ENV_FLAG] == "1"
+            assert os.environ[telemetry.ENV_PATH] == str(other)
+        finally:
+            monkeypatch.delenv(telemetry.ENV_FLAG, raising=False)
+            monkeypatch.delenv(telemetry.ENV_PATH, raising=False)
+            telemetry.reset()
+
+    def test_non_json_payload_stringified(self, manifest):
+        telemetry.emit("infeasibility", blocking=["timing"],
+                       probes={"timing": "solved"}, extra=object())
+        (event,) = _events(manifest)  # must not raise on dump
+        assert event["blocking"] == ["timing"]
+
+
+class TestValidation:
+    def test_valid_manifest_passes(self, manifest):
+        telemetry.emit("run_begin", run="v")
+        telemetry.emit("stage", stage="s", seconds=0.1)
+        telemetry.emit("run_end", run="v", seconds=0.2)
+        n, errors = telemetry.validate_manifest(manifest)
+        assert n == 3
+        assert errors == []
+
+    def test_unknown_event_flagged(self, manifest):
+        telemetry.emit("not_a_real_event", foo=1)
+        _, errors = telemetry.validate_manifest(manifest)
+        assert any("unknown event" in e for e in errors)
+
+    def test_missing_fields_flagged(self, manifest):
+        telemetry.emit("solve", backend="ipm")  # lacks status/iterations/...
+        _, errors = telemetry.validate_manifest(manifest)
+        assert any("missing fields" in e for e in errors)
+
+    def test_invalid_json_flagged(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1}\nnot json at all\n')
+        n, errors = telemetry.validate_manifest(bad)
+        assert n == 2
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_cli_validator_exit_codes(self, manifest, capsys):
+        telemetry.emit("run_begin", run="cli")
+        telemetry.reset()  # flush/close before reading
+        assert telemetry.main([str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "1 events, 0 schema errors" in out
+
+    def test_cli_validator_rejects_empty(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert telemetry.main([str(empty)]) == 1
+
+    def test_every_emitter_event_is_in_schema(self):
+        """The schema must cover every event the codebase emits."""
+        import pathlib
+        import re
+
+        src = pathlib.Path(__file__).parent.parent / "src"
+        emitted = set()
+        for path in src.rglob("*.py"):
+            emitted.update(
+                re.findall(r'telemetry\.emit\(\s*"(\w+)"', path.read_text())
+            )
+        assert emitted  # the grep found the call sites
+        assert emitted <= set(telemetry.EVENT_SCHEMA)
+
+
+class TestEndToEnd:
+    def test_dmopt_run_produces_valid_manifest(self, manifest):
+        from repro.core import DesignContext, optimize_dose_map
+        from repro.netlist import make_design
+
+        ctx = DesignContext(make_design("AES-65", scale=0.3))
+        res = optimize_dose_map(ctx, 30.0, mode="qp")
+        assert res.ok
+        telemetry.reset()  # flush before validating
+        n, errors = telemetry.validate_manifest(manifest)
+        assert errors == []
+        kinds = {e["event"] for e in _events(manifest)}
+        assert "solve" in kinds
+        assert "fallback" in kinds
+        assert "dmopt" in kinds
+        assert "stage" in kinds
