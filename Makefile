@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-dmopt bench-dmopt-smoke bench-paper experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-dmopt bench-dmopt-smoke bench-paper chaos-smoke resume-smoke experiments examples lint clean
 
 install:
 	pip install -e .[test]
@@ -23,6 +23,14 @@ bench-dmopt-smoke:
 # Paper-reproduction benchmark suite (tables/figures timings)
 bench-paper:
 	pytest benchmarks/ --benchmark-only
+
+# Fault-injection (REPRO_CHAOS) recovery-path smoke
+chaos-smoke:
+	PYTHONPATH=src python benchmarks/chaos_smoke.py
+
+# Kill-and-resume checkpoint smoke (byte-identical rows)
+resume-smoke:
+	PYTHONPATH=src python benchmarks/resume_smoke.py
 
 experiments:
 	python -m repro.experiments

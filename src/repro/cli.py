@@ -21,8 +21,16 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
-from repro.core import DesignContext, DoseplConfig, run_flow
+from repro.core import (
+    DesignContext,
+    DoseplConfig,
+    FlowResult,
+    optimize_dose_map,
+    run_dosepl,
+    run_flow,
+)
 from repro.io import parse_def, parse_verilog, write_def, write_verilog
 from repro.library import CellLibrary
 from repro.netlist import design_names, make_design
@@ -83,18 +91,89 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_optimize(args) -> int:
-    ctx = _load_context(args)
-    flow = run_flow(
-        ctx,
-        grid_size=args.grid,
-        mode=args.mode,
-        both_layers=args.both_layers,
-        with_dosepl=args.dosepl,
-        dosepl_config=DoseplConfig(top_k=args.top_k) if args.dosepl else None,
-        smoothness=args.smoothness,
-        dose_range=args.dose_range,
+def _checkpointed_flow(ctx, args) -> FlowResult:
+    """The ``optimize`` flow with the DMopt stage checkpointed.
+
+    The dose-map solve -- the expensive stage -- is stored in (and with
+    ``--resume`` served from) an append-only JSONL checkpoint under a
+    content hash of the design fingerprint and the optimize settings,
+    so a re-run after an interruption skips straight to reporting (and
+    dosePl, which golden-verifies its own swaps and stays live).
+    """
+    from repro import telemetry
+    from repro.resilience.checkpoint import (
+        CheckpointStore,
+        dmopt_result_from_payload,
+        dmopt_result_payload,
+        sweep_point_key,
     )
+
+    t0 = time.perf_counter()
+    store = CheckpointStore(args.checkpoint, resume=args.resume)
+    key = sweep_point_key(
+        ctx, args.grid, args.mode, args.dose_range, False,
+        {"smoothness": args.smoothness, "both_layers": args.both_layers},
+    )
+    payload = store.get(key)
+    if payload is not None:
+        dmopt = dmopt_result_from_payload(payload)
+        telemetry.emit("checkpoint_hit", key=key)
+        print(f"dose-map solve resumed from {args.checkpoint}")
+    else:
+        dmopt = optimize_dose_map(
+            ctx,
+            args.grid,
+            mode=args.mode,
+            both_layers=args.both_layers,
+            smoothness=args.smoothness,
+            dose_range=args.dose_range,
+        )
+        if dmopt.ok:
+            # failures are not recorded: they may be environmental
+            # (budget, chaos) and must re-run on resume
+            store.put(key, dmopt_result_payload(dmopt), kind="cli_optimize")
+    store.close()
+    dosepl = None
+    if args.dosepl:
+        dosepl = run_dosepl(
+            ctx, dmopt.dose_map_poly,
+            config=DoseplConfig(top_k=args.top_k),
+        )
+    return FlowResult(
+        ctx=ctx, dmopt=dmopt, dosepl=dosepl,
+        runtime=time.perf_counter() - t0,
+    )
+
+
+def _cmd_optimize(args) -> int:
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    ctx = _load_context(args)
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint is None:
+        flow = run_flow(
+            ctx,
+            grid_size=args.grid,
+            mode=args.mode,
+            both_layers=args.both_layers,
+            with_dosepl=args.dosepl,
+            dosepl_config=(
+                DoseplConfig(top_k=args.top_k) if args.dosepl else None
+            ),
+            smoothness=args.smoothness,
+            dose_range=args.dose_range,
+        )
+    else:
+        flow = _checkpointed_flow(ctx, args)
+    if args.certify:
+        from repro.core import certify_result, enforce_certificate
+
+        report = certify_result(
+            ctx, flow.dmopt, dose_range=args.dose_range,
+            smoothness=args.smoothness,
+        )
+        print(report.summary())
+        enforce_certificate(report, label=ctx.bundle.name)
     if not flow.dmopt.ok:
         print(f"dose-map solve failed ({flow.dmopt.status}); "
               "baseline numbers reported")
@@ -167,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dose smoothness bound delta (%%)")
     p_opt.add_argument("--dose-range", type=float, default=5.0,
                        help="dose correction range (+/- %%)")
+    p_opt.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="JSONL checkpoint file: the dose-map solve is "
+                       "stored under a content hash of the design and "
+                       "settings, for restart with --resume")
+    p_opt.add_argument("--resume", action="store_true",
+                       help="serve the dose-map solve from --checkpoint "
+                       "when present instead of truncating the file")
+    p_opt.add_argument("--certify", action="store_true",
+                       help="independently re-verify the result (dose "
+                       "range, smoothness, timing, leakage, signoff) and "
+                       "fail on violation")
     p_opt.set_defaults(func=_cmd_optimize)
 
     return parser

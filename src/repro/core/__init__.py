@@ -1,5 +1,11 @@
 """Core: the paper's dose map + placement co-optimization."""
 
+from repro.core.certify import (
+    CertificateReport,
+    CertificationError,
+    certify_result,
+    enforce_certificate,
+)
 from repro.core.dmopt import DMoptResult, MODE_QCP, MODE_QP, optimize_dose_map
 from repro.core.dosepl import DoseplConfig, DoseplResult, run_dosepl
 from repro.core.flow import FlowResult, run_flow
@@ -33,6 +39,10 @@ from repro.core.sweep import (
 
 __all__ = [
     "DesignContext",
+    "CertificateReport",
+    "CertificationError",
+    "certify_result",
+    "enforce_certificate",
     "Formulation",
     "build_formulation",
     "resolve_formulate_backend",

@@ -75,6 +75,9 @@ class DMoptResult:
     formulation: Formulation
     runtime: float
     infeasibility: InfeasibilityReport = None
+    #: Filled by :func:`repro.core.certify.certify_result` when the
+    #: result has been independently re-verified.
+    certificate: object = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +130,7 @@ def optimize_dose_map(
     snap_mode: str = None,
     qp_kwargs: dict = None,
     warm_start: SolveResult = None,
+    time_limit: float = None,
 ) -> DMoptResult:
     """Run DMopt on a design context.
 
@@ -176,6 +180,11 @@ def optimize_dose_map(
         identical solve (an adjacent sweep point): its primal/dual state
         seeds the inner solver and, for QCP, its multiplier seeds the
         bisection bracket.
+    time_limit:
+        Optional wall-clock budget in seconds for *all* solver work in
+        this call (fallback chain, QCP root search, guard retry).  On
+        expiry the best iterate so far is signed off (or the failure
+        path taken); the call never spins indefinitely.
     """
     if mode not in (MODE_QP, MODE_QCP):
         raise ValueError(f"mode must be 'qp' or 'qcp', got {mode!r}")
@@ -204,6 +213,15 @@ def optimize_dose_map(
     # retargeted sweep siblings keep reusing them; QP and QCP rows have
     # different finiteness masks, hence separate slots
     solver_ws = form.shared.setdefault(("ipm_ws", mode), {})
+    solve_deadline = (
+        t_start + float(time_limit) if time_limit is not None else None
+    )
+
+    def _budget_left():
+        """Remaining solver budget in seconds (None = unlimited)."""
+        if solve_deadline is None:
+            return None
+        return max(solve_deadline - time.perf_counter(), 1e-3)
 
     def _solve_and_sign_off(tau, warm):
         with telemetry.stage(f"dmopt-solve-{mode}"):
@@ -220,6 +238,7 @@ def optimize_dose_map(
                     qp_kwargs=qp_kwargs,
                     warm=_warm_state(warm),
                     workspace=solver_ws,
+                    time_limit=_budget_left(),
                 )
             else:
                 c = np.zeros(form.n_vars)
@@ -240,6 +259,7 @@ def optimize_dose_map(
                     warm=_warm_state(warm),
                     lam_hint=warm.info.get("lam") if warm is not None else None,
                     workspace=solver_ws,
+                    time_limit=_budget_left(),
                 )
         if solve.failed:
             # never sign off on a failed iterate: no snap, no golden eval

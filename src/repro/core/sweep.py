@@ -112,6 +112,8 @@ def dmopt_dose_range_sweep(
     dose_ranges,
     mode: str = "qcp",
     warm_start: bool = True,
+    checkpoint=None,
+    resume: bool = True,
     **dmopt_kwargs,
 ) -> list:
     """Run DMopt at each dose-range limit, warm-starting along the sweep.
@@ -124,15 +126,54 @@ def dmopt_dose_range_sweep(
     numbers unchanged, since warm starting only changes the inner
     solver's starting iterate, not the optimum.
 
+    Parameters
+    ----------
+    checkpoint:
+        Optional path to a JSONL checkpoint file; each converged point
+        is appended (fsync'd) under a content hash of (design
+        fingerprint, grid, mode, dose range, kwargs).  With ``resume``
+        (default) already-present points are rebuilt from the file (a
+        ``checkpoint_hit`` telemetry event each) instead of re-solved.
+        A resumed point carries no solver iterate, so the next solve
+        cold-starts -- the poisonous-seed rule -- which is safe because
+        golden numbers are warm/cold invariant.
+    resume:
+        When False an existing checkpoint file is truncated first.
+
     Returns the list of :class:`~repro.core.dmopt.DMoptResult` in
     ``dose_ranges`` order.
     """
     from repro import telemetry
     from repro.core.dmopt import optimize_dose_map
+    from repro.resilience.checkpoint import (
+        CheckpointStore,
+        dmopt_result_from_payload,
+        dmopt_result_payload,
+        sweep_point_key,
+    )
 
+    store = (
+        CheckpointStore(checkpoint, resume=resume)
+        if checkpoint is not None
+        else None
+    )
     results = []
     prev = None
     for dose_range in dose_ranges:
+        key = None
+        if store is not None:
+            key = sweep_point_key(
+                ctx, grid_size, mode, float(dose_range), warm_start,
+                dmopt_kwargs,
+            )
+            payload = store.get(key)
+            if payload is not None:
+                res = dmopt_result_from_payload(payload)
+                telemetry.emit("checkpoint_hit", key=key)
+                results.append(res)
+                # no iterate to seed from: the next point starts cold
+                prev = None
+                continue
         # a failed neighbor is a poisonous seed: fall back to cold
         seed = (
             prev.solve
@@ -155,6 +196,12 @@ def dmopt_dose_range_sweep(
             leakage=res.leakage,
             warm=seed is not None,
         )
+        if store is not None and res.ok:
+            # failed points are not recorded: a failure may be
+            # environmental (chaos, time budget) and must re-run
+            store.put(key, dmopt_result_payload(res), kind="sweep_point")
         results.append(res)
         prev = res
+    if store is not None:
+        store.close()
     return results

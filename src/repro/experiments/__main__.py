@@ -82,7 +82,38 @@ def main(argv=None) -> int:
         "optional PATH overrides the default "
         "(REPRO_TELEMETRY_PATH or repro_telemetry.jsonl)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint file for the DMopt tables (4/5/6): each "
+        "completed cell is appended under a content-hash key so an "
+        "interrupted run can restart with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from --checkpoint instead of "
+        "truncating it (requires --checkpoint)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget for the DMopt tables; a cell "
+        "exceeding it is killed and reported as status=timeout "
+        "(default: REPRO_CELL_TIMEOUT env or no deadline)",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently re-verify every DMopt cell (dose range, "
+        "smoothness, timing, leakage) and fail the run on violation",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
 
     if args.trace is not None:
         from repro import telemetry
@@ -105,13 +136,27 @@ def main(argv=None) -> int:
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     parallelizable = {"table4", "table5", "table6"}
+    # without --resume the checkpoint starts fresh, but only the FIRST
+    # table of this invocation truncates it -- later tables append to
+    # the same file (cell keys are content hashes, so tables never
+    # collide)
+    resume = args.resume
     for name in names:
         t0 = time.perf_counter()
-        kwargs = (
-            {"jobs": args.jobs}
-            if args.jobs is not None and name in parallelizable
-            else {}
-        )
+        kwargs = {}
+        if name in parallelizable:
+            # only pass flags the user actually set, so monkeypatched /
+            # reduced-signature table functions keep working
+            if args.jobs is not None:
+                kwargs["jobs"] = args.jobs
+            if args.checkpoint is not None:
+                kwargs["checkpoint"] = args.checkpoint
+                kwargs["resume"] = resume
+                resume = True
+            if args.cell_timeout is not None:
+                kwargs["cell_timeout"] = args.cell_timeout
+            if args.certify:
+                kwargs["certify"] = True
         table = EXPERIMENTS[name](**kwargs)
         elapsed = time.perf_counter() - t0
         print(table.format())

@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
+from repro.resilience import chaos
+from repro.resilience.checkpoint import CheckpointStore, cell_key
+from repro.resilience.watchdog import (
+    MapStats,
+    resolve_cell_timeout,
+    supervised_map,
+)
 
 
 @dataclass
@@ -100,7 +107,16 @@ def resolve_jobs(jobs: int = None) -> int:
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count, "
+                    f"got {env!r}"
+                ) from None
+        else:
+            jobs = 1
     jobs = int(jobs)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
@@ -111,43 +127,29 @@ def parallel_map(fn, items, jobs: int = None,
                  retry_serial: bool = True) -> list:
     """Map ``fn`` over ``items``, optionally across processes.
 
-    Results always come back in input order (futures are gathered by
-    submission index), so callers see identical output whether the run
-    was serial or parallel.  ``jobs <= 1`` short-circuits to a plain
-    loop with zero multiprocessing overhead; ``fn`` and each item must
-    be picklable otherwise.
+    Results always come back in input order, so callers see identical
+    output whether the run was serial or parallel.  ``jobs <= 1``
+    short-circuits to a plain loop with zero multiprocessing overhead;
+    ``fn`` and each item must be picklable otherwise.
 
-    With ``retry_serial`` (default), an item whose worker raised -- or
-    whose whole process died (``BrokenProcessPool``: OOM kill, hard
-    crash) -- is re-run serially in the parent instead of poisoning the
-    run, so the result list is hole-free and deterministic.  Each retry
-    is recorded as a ``worker_retry`` telemetry event; an item that
+    With ``retry_serial`` (default), an item whose worker raised is
+    re-run serially in the parent (with bounded exponential backoff)
+    instead of poisoning the run, and a broken pool (OOM kill, hard
+    crash) is recreated once for the remaining items before degrading
+    to serial -- so the result list is hole-free and deterministic even
+    on a lossy pool.  Each retry is a ``worker_retry`` telemetry event
+    and each pool recreation a ``pool_restart`` event; an item that
     fails again in the parent raises normally (a real bug, not a worker
     casualty).
+
+    This is a thin veneer over
+    :func:`repro.resilience.watchdog.supervised_map`, which adds
+    per-item watchdog deadlines for callers that need them
+    (:func:`run_dmopt_cells`).
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), max(len(items), 1))
-    if jobs <= 1:
-        return [fn(item) for item in items]
-    results = [None] * len(items)
-    failed = []
-    with ProcessPoolExecutor(max_workers=jobs) as ex:
-        futures = [ex.submit(fn, item) for item in items]
-        for idx, fut in enumerate(futures):
-            try:
-                results[idx] = fut.result()
-            except Exception as exc:  # incl. BrokenProcessPool
-                if not retry_serial:
-                    raise
-                failed.append((idx, exc))
-    for idx, exc in failed:
-        telemetry.emit(
-            "worker_retry",
-            index=idx,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-        results[idx] = fn(items[idx])
-    return results
+    return supervised_map(fn, items, jobs, retry_serial=retry_serial)
 
 
 @dataclass(frozen=True)
@@ -165,32 +167,51 @@ class DMoptCell:
     method: str = "ipm"
 
 
-#: Per-process context cache so one worker serving many cells of the
-#: same design characterizes it once (mirrors tables._CTX_CACHE).
-_CELL_CTX: dict = {}
+#: Per-process LRU context cache so one worker serving many cells of
+#: the same design characterizes it once (mirrors tables._CTX_CACHE)
+#: without letting a long multi-design sweep grow worker memory without
+#: bound.  A characterized context is tens of MB; four covers every
+#: table driver's working set.
+_CELL_CTX_MAX = 4
+_CELL_CTX: OrderedDict = OrderedDict()
 
 
 def _cell_context(design: str, scale: float, fit_width: bool):
     key = (design, float(scale), bool(fit_width))
     ctx = _CELL_CTX.get(key)
-    if ctx is None:
-        from repro.core import DesignContext
-        from repro.netlist import make_design
+    if ctx is not None:
+        _CELL_CTX.move_to_end(key)
+        return ctx
+    from repro.core import DesignContext
+    from repro.netlist import make_design
 
-        ctx = DesignContext(
-            make_design(design, scale=scale), fit_width=fit_width
-        )
-        _CELL_CTX[key] = ctx
+    ctx = DesignContext(
+        make_design(design, scale=scale), fit_width=fit_width
+    )
+    _CELL_CTX[key] = ctx
+    while len(_CELL_CTX) > _CELL_CTX_MAX:
+        _CELL_CTX.popitem(last=False)
     return ctx
 
 
-def run_dmopt_cell(cell: DMoptCell) -> dict:
+STATUS_TIMEOUT = "timeout"
+
+
+def run_dmopt_cell(cell: DMoptCell, certify: bool = False,
+                   time_limit: float = None) -> dict:
     """Evaluate one cell; returns a small picklable result dict.
 
     Runs in a worker process under :func:`run_dmopt_cells`; the context
     is rebuilt deterministically (same design generator and placer
     seeds as the serial path), so the golden numbers are identical to a
     serial evaluation.
+
+    With ``certify`` the result is independently re-verified
+    (:func:`repro.core.certify.certify_result`); the verdict and
+    summary ride along in the dict for the parent to enforce.
+    ``time_limit`` caps the solver work inside the cell (the harness's
+    watchdog is the backstop for everything the solver budget cannot
+    interrupt, e.g. a hung factorization).
     """
     from repro.core import optimize_dose_map
 
@@ -205,8 +226,9 @@ def run_dmopt_cell(cell: DMoptCell) -> dict:
         dose_range=cell.dose_range,
         smoothness=cell.smoothness,
         method=cell.method,
+        time_limit=time_limit,
     )
-    return {
+    out = {
         "design": cell.design,
         "grid_size": cell.grid_size,
         "mode": cell.mode,
@@ -221,25 +243,170 @@ def run_dmopt_cell(cell: DMoptCell) -> dict:
         "iterations": res.solve.iterations,
         "status": res.solve.status,
     }
+    if certify:
+        from repro.core import certify_result
+
+        report = certify_result(
+            ctx, res, dose_range=cell.dose_range,
+            smoothness=cell.smoothness,
+        )
+        out["certified"] = report.ok
+        out["certificate"] = report.summary()
+    return out
 
 
-def run_dmopt_cells(cells, jobs: int = None) -> list:
+def _run_cell_task(task) -> dict:
+    """Worker entry for one ``(index, cell, certify, time_limit)`` task.
+
+    The index is only for chaos targeting and telemetry; the result
+    dict is identical to :func:`run_dmopt_cell`'s.
+    """
+    index, cell, certify, time_limit = task
+    chaos.inject_worker_crash(index)
+    chaos.inject_slow_solve(index)
+    return run_dmopt_cell(cell, certify=certify, time_limit=time_limit)
+
+
+def _timeout_result(task, elapsed: float) -> dict:
+    """Diagnostic row for a cell killed by the watchdog."""
+    _, cell, _, _ = task
+    nan = float("nan")
+    return {
+        "design": cell.design,
+        "grid_size": cell.grid_size,
+        "mode": cell.mode,
+        "both_layers": cell.both_layers,
+        "mct": nan,
+        "mct_improvement_pct": nan,
+        "leakage": nan,
+        "leakage_improvement_pct": nan,
+        "baseline_mct": nan,
+        "baseline_leakage": nan,
+        "runtime": elapsed,
+        "iterations": 0,
+        "status": STATUS_TIMEOUT,
+    }
+
+
+class CellCertificationError(RuntimeError):
+    """At least one --certify cell failed independent re-verification."""
+
+
+def _enforce_certification(cells, results):
+    failed = [
+        (cell, res)
+        for cell, res in zip(cells, results)
+        if res.get("status") not in (STATUS_TIMEOUT,)
+        and res.get("certified") is False
+    ]
+    if failed:
+        lines = [
+            f"{cell.design} G={cell.grid_size} {cell.mode}: "
+            + res.get("certificate", "certification failed")
+            for cell, res in failed
+        ]
+        raise CellCertificationError(
+            f"{len(failed)} cell(s) failed certification:\n  "
+            + "\n  ".join(lines)
+        )
+
+
+def run_dmopt_cells(
+    cells,
+    jobs: int = None,
+    checkpoint=None,
+    resume: bool = True,
+    cell_timeout: float = None,
+    certify: bool = False,
+) -> list:
     """Fan independent DMopt cells across processes.
 
     Returns one result dict per cell, in ``cells`` order regardless of
     worker scheduling.  With ``jobs=1`` (the default absent
     ``REPRO_JOBS``) this is a plain serial loop.  A crashed or killed
     worker does not hole the results: its cell is re-run serially in
-    the parent and the retry is recorded in the telemetry manifest.
+    the parent (one pool recreation first, if the whole pool died) and
+    the recovery is recorded in the telemetry manifest.
+
+    Parameters
+    ----------
+    checkpoint:
+        Optional path to a JSONL checkpoint file.  Each completed cell
+        is appended (fsync'd) under its content-hash key; with
+        ``resume`` (default) cells whose key is already present are
+        served from the file (a ``checkpoint_hit`` telemetry event
+        each) instead of re-run, so an interrupted run restarts where
+        it stopped.  Watchdog-timeout rows are *not* checkpointed --
+        they re-run on resume.
+    resume:
+        When False an existing checkpoint file is truncated first.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (default: the
+        ``REPRO_CELL_TIMEOUT`` environment variable; unset/<=0 means no
+        deadline).  A cell that exceeds it has its worker killed and
+        yields a diagnostic ``status="timeout"`` row; the rest of the
+        run continues.
+    certify:
+        Independently re-verify every cell's result against the dose
+        range / smoothness / timing / leakage semantics and raise
+        :class:`CellCertificationError` if any converged cell fails.
     """
     cells = list(cells)
     t0 = time.perf_counter()
+    timeout = resolve_cell_timeout(cell_timeout)
+    jobs_resolved = resolve_jobs(jobs)
     telemetry.emit("run_begin", run="dmopt_cells", n_cells=len(cells),
-                   jobs=resolve_jobs(jobs))
-    results = parallel_map(run_dmopt_cell, cells, jobs=jobs)
+                   jobs=jobs_resolved)
+
+    store = None
+    keys = [None] * len(cells)
+    results = [None] * len(cells)
+    todo = list(range(len(cells)))
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint, resume=resume)
+        todo = []
+        for idx, cell in enumerate(cells):
+            keys[idx] = cell_key(cell, certify=certify)
+            payload = store.get(keys[idx])
+            if payload is not None:
+                results[idx] = payload
+                telemetry.emit("checkpoint_hit", key=keys[idx])
+            else:
+                todo.append(idx)
+
+    stats = MapStats()
+    if todo:
+        tasks = [(idx, cells[idx], certify, timeout) for idx in todo]
+
+        def on_result(pos, res):
+            idx = todo[pos]
+            results[idx] = res
+            if res.get("status") == STATUS_TIMEOUT:
+                telemetry.emit("watchdog_kill", index=idx,
+                               seconds=res.get("runtime"))
+            elif store is not None:
+                store.put(keys[idx], res, kind="dmopt_cell")
+
+        supervised_map(
+            _run_cell_task,
+            tasks,
+            min(jobs_resolved, len(tasks)),
+            timeout=timeout,
+            on_result=on_result,
+            timeout_result=_timeout_result,
+            stats=stats,
+        )
+    if store is not None:
+        store.close()
+
     for idx, (cell, res) in enumerate(zip(cells, results)):
         telemetry.emit("cell_done", index=idx, design=cell.design,
                        status=res["status"])
     telemetry.emit("run_end", run="dmopt_cells",
-                   seconds=time.perf_counter() - t0)
+                   seconds=time.perf_counter() - t0,
+                   retries=stats.retries,
+                   pool_restarts=stats.pool_restarts,
+                   timeouts=stats.timeouts)
+    if certify:
+        _enforce_certification(cells, results)
     return results

@@ -96,14 +96,33 @@ def _node_grid_sizes(design: str) -> tuple:
     return GRID_SIZES[node]
 
 
-def table4(designs=None, grid_sizes=None, jobs=None) -> TableResult:
+def _use_cell_runner(jobs, checkpoint, cell_timeout, certify) -> bool:
+    """Route through :func:`run_dmopt_cells` instead of the plain loop?
+
+    Parallelism is the historical trigger; checkpointing, watchdog
+    deadlines, and certification also live in the cell runner, so any of
+    them forces the cells path even at ``jobs=1`` (results are identical
+    either way -- that is the cell runner's determinism guarantee).
+    """
+    return (
+        resolve_jobs(jobs) > 1
+        or checkpoint is not None
+        or cell_timeout is not None
+        or certify
+    )
+
+
+def table4(designs=None, grid_sizes=None, jobs=None, checkpoint=None,
+           resume=True, cell_timeout=None, certify=False) -> TableResult:
     """Table IV: DMopt on the poly layer, QP and QCP, per grid size.
 
     QP minimizes leakage under the baseline-MCT bound; QCP minimizes MCT
     under a no-leakage-increase budget (smoothness delta = 2, range
     +/-5 %), exactly the paper's settings.  ``jobs`` (or ``REPRO_JOBS``)
     > 1 fans the (design, grid, mode) cells across processes with
-    identical results (see :func:`repro.experiments.harness.run_dmopt_cells`).
+    identical results (see :func:`repro.experiments.harness.run_dmopt_cells`,
+    which also documents ``checkpoint``/``resume``, ``cell_timeout``,
+    and ``certify``).
     """
     if designs is None:
         designs = ("AES-65", "JPEG-65", "AES-90", "JPEG-90")
@@ -113,14 +132,17 @@ def table4(designs=None, grid_sizes=None, jobs=None) -> TableResult:
         for g in (grid_sizes or _node_grid_sizes(design))
     ]
     rows = []
-    if resolve_jobs(jobs) > 1:
+    if _use_cell_runner(jobs, checkpoint, cell_timeout, certify):
         cells = [
             DMoptCell(design, g, mode=mode)
             for design, g in pairs
             for mode in ("qp", "qcp")
         ]
         out = dict(zip(((c.design, c.grid_size, c.mode) for c in cells),
-                       run_dmopt_cells(cells, jobs=jobs)))
+                       run_dmopt_cells(cells, jobs=jobs,
+                                       checkpoint=checkpoint, resume=resume,
+                                       cell_timeout=cell_timeout,
+                                       certify=certify)))
         for design, g in pairs:
             qp = out[(design, g, "qp")]
             qcp = out[(design, g, "qcp")]
@@ -177,7 +199,8 @@ def _table4_result(rows) -> TableResult:
     )
 
 
-def _both_layer_cells(designs, grid_sizes, mode, jobs):
+def _both_layer_cells(designs, grid_sizes, mode, jobs, checkpoint=None,
+                      resume=True, cell_timeout=None, certify=False):
     """Parallel (poly, both) result-dict pairs for tables V/VI."""
     cells = [
         DMoptCell(design, g, mode=mode, both_layers=bl, fit_width=True)
@@ -185,7 +208,9 @@ def _both_layer_cells(designs, grid_sizes, mode, jobs):
         for g in grid_sizes
         for bl in (False, True)
     ]
-    out = run_dmopt_cells(cells, jobs=jobs)
+    out = run_dmopt_cells(cells, jobs=jobs, checkpoint=checkpoint,
+                          resume=resume, cell_timeout=cell_timeout,
+                          certify=certify)
     return {
         (c.design, c.grid_size, c.both_layers): r
         for c, r in zip(cells, out)
@@ -193,11 +218,14 @@ def _both_layer_cells(designs, grid_sizes, mode, jobs):
 
 
 def table5(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0),
-           jobs=None) -> TableResult:
+           jobs=None, checkpoint=None, resume=True, cell_timeout=None,
+           certify=False) -> TableResult:
     """Table V: QCP for improved timing, poly-only vs both layers."""
     rows = []
-    if resolve_jobs(jobs) > 1:
-        out = _both_layer_cells(designs, grid_sizes, "qcp", jobs)
+    if _use_cell_runner(jobs, checkpoint, cell_timeout, certify):
+        out = _both_layer_cells(designs, grid_sizes, "qcp", jobs,
+                                checkpoint=checkpoint, resume=resume,
+                                cell_timeout=cell_timeout, certify=certify)
         for design in designs:
             for g in grid_sizes:
                 poly = out[(design, g, False)]
@@ -251,11 +279,14 @@ def _table5_result(rows) -> TableResult:
 
 
 def table6(designs=("AES-65", "JPEG-65"), grid_sizes=(5.0, 10.0, 30.0),
-           jobs=None) -> TableResult:
+           jobs=None, checkpoint=None, resume=True, cell_timeout=None,
+           certify=False) -> TableResult:
     """Table VI: QP for improved leakage, poly-only vs both layers."""
     rows = []
-    if resolve_jobs(jobs) > 1:
-        out = _both_layer_cells(designs, grid_sizes, "qp", jobs)
+    if _use_cell_runner(jobs, checkpoint, cell_timeout, certify):
+        out = _both_layer_cells(designs, grid_sizes, "qp", jobs,
+                                checkpoint=checkpoint, resume=resume,
+                                cell_timeout=cell_timeout, certify=certify)
         for design in designs:
             for g in grid_sizes:
                 poly = out[(design, g, False)]

@@ -1,0 +1,38 @@
+"""Pipeline resilience: checkpoint/resume, watchdog deadlines, chaos.
+
+Three coordinated pieces keep multi-hour experiment runs alive:
+
+* :mod:`repro.resilience.checkpoint` -- an atomic, append-only JSONL
+  store keyed by content hashes, so an interrupted table run resumes
+  from its last fsync'd record instead of restarting from zero.
+* :mod:`repro.resilience.watchdog` -- a supervised process-pool map
+  with per-item wall-clock deadlines: a stuck worker is killed and the
+  item recorded as a diagnostic ``timeout`` result instead of hanging
+  the whole run.
+* :mod:`repro.resilience.chaos` -- deterministic fault injection
+  (worker crash, solver NaN, slow solve, corrupt checkpoint line)
+  behind the ``REPRO_CHAOS`` environment variable, used by the test
+  suite and the CI chaos lane to exercise the two modules above.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    cell_key,
+    content_key,
+)
+from repro.resilience.watchdog import (
+    ENV_CELL_TIMEOUT,
+    MapStats,
+    resolve_cell_timeout,
+    supervised_map,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "cell_key",
+    "content_key",
+    "ENV_CELL_TIMEOUT",
+    "MapStats",
+    "resolve_cell_timeout",
+    "supervised_map",
+]

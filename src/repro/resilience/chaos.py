@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the experiment pipeline.
+
+Off by default and free when off: every injection helper returns
+immediately unless the ``REPRO_CHAOS`` environment variable holds a
+JSON configuration.  Because workers inherit the environment, one
+setting drives the whole process tree deterministically -- no random
+scheduling, no flaky tests.
+
+Configuration
+-------------
+``REPRO_CHAOS`` is a JSON object mapping injection-point names to
+trigger specs::
+
+    REPRO_CHAOS='{"slow_solve": {"indices": [1], "seconds": 60}}'
+    REPRO_CHAOS='{"worker_crash": {"indices": [2]}}'
+    REPRO_CHAOS='{"solver_nan": {"nth": 1}}'
+    REPRO_CHAOS='{"corrupt_checkpoint": {"nth": 2}}'
+    REPRO_CHAOS='{"seed": 7, "worker_crash": {"p": 0.25}}'
+
+Trigger specs (any one of):
+
+``indices``
+    Fire whenever the injection point is reached with one of the listed
+    item indices (e.g. the global cell index of a table run).
+``nth``
+    Fire on the n-th invocation (1-based) of the point in this process,
+    once.
+``every``
+    Fire on every k-th invocation.
+``p``
+    Fire with probability ``p``, decided by a deterministic RNG seeded
+    from the top-level ``seed``, the point name, and the invocation
+    counter (or index) -- reruns make identical decisions.
+
+Injection points
+----------------
+``worker_crash``
+    Hard ``os._exit`` in a *worker* process (never fires in the main
+    process, so the parent's serial-retry path stays alive) -- simulates
+    an OOM kill or segfault.  See :func:`inject_worker_crash`.
+``slow_solve``
+    Sleep for ``seconds`` (default 3600) before a cell evaluation --
+    simulates a hung solver for the watchdog to kill.  See
+    :func:`inject_slow_solve`.
+``solver_nan``
+    Replace a :func:`repro.solver.robust.solve_qp_robust` primary
+    attempt with a diagnostic ``diverged`` result -- exercises the
+    fallback chain.  See :func:`solver_nan`.
+``corrupt_checkpoint``
+    Truncate a checkpoint record mid-write (no trailing newline, record
+    not committed) -- simulates a crash during an append, which the
+    store's loader and tail-repair must tolerate.  See
+    :func:`corrupt_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+
+ENV_FLAG = "REPRO_CHAOS"
+
+POINTS = ("worker_crash", "slow_solve", "solver_nan", "corrupt_checkpoint")
+
+#: Parsed configuration; ``None`` means "not yet read from the env",
+#: ``{}`` means "read, chaos off".
+_config = None
+#: Per-point invocation counters (process-local).
+_counters: dict = {}
+
+
+def _load() -> dict:
+    global _config
+    if _config is None:
+        raw = os.environ.get(ENV_FLAG, "").strip()
+        if not raw or raw == "0":
+            _config = {}
+        else:
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{ENV_FLAG} must be a JSON object, got {raw!r}: {exc}"
+                ) from None
+            if not isinstance(parsed, dict):
+                raise ValueError(
+                    f"{ENV_FLAG} must be a JSON object, got {raw!r}"
+                )
+            unknown = set(parsed) - set(POINTS) - {"seed"}
+            if unknown:
+                raise ValueError(
+                    f"{ENV_FLAG}: unknown injection points {sorted(unknown)}; "
+                    f"known: {list(POINTS)}"
+                )
+            _config = parsed
+    return _config
+
+
+def reset():
+    """Forget the parsed config and counters (test isolation)."""
+    global _config
+    _config = None
+    _counters.clear()
+
+
+def enabled() -> bool:
+    """Whether any injection point is configured."""
+    return bool(_load())
+
+
+def fires(point: str, index=None) -> dict:
+    """The spec dict when ``point`` triggers now, else ``None``.
+
+    Every call advances the point's process-local invocation counter,
+    so ``nth``/``every``/``p`` triggers are deterministic per process.
+    """
+    conf = _load()
+    spec = conf.get(point)
+    if not spec:
+        return None
+    count = _counters.get(point, 0) + 1
+    _counters[point] = count
+    if "indices" in spec:
+        if index is not None and int(index) in set(spec["indices"]):
+            return spec
+        return None
+    if "nth" in spec:
+        return spec if count == int(spec["nth"]) else None
+    if "every" in spec:
+        k = int(spec["every"])
+        return spec if k > 0 and count % k == 0 else None
+    if "p" in spec:
+        salt = count if index is None else int(index)
+        # str seeds hash via sha512: stable across processes and runs
+        rng = random.Random(f"{int(conf.get('seed', 0))}:{point}:{salt}")
+        return spec if rng.random() < float(spec["p"]) else None
+    return None
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def inject_worker_crash(index=None):
+    """Hard-kill the current *worker* process when configured.
+
+    Never fires in the main process: the parent must survive to run
+    its serial-retry and pool-restart recovery paths.
+    """
+    if _config == {}:  # fast path: parsed and off
+        return
+    if fires("worker_crash", index=index) is not None and _in_worker():
+        os._exit(3)
+
+
+def inject_slow_solve(index=None):
+    """Sleep as a stand-in for a hung solver when configured."""
+    if _config == {}:
+        return
+    spec = fires("slow_solve", index=index)
+    if spec is not None:
+        time.sleep(float(spec.get("seconds", 3600.0)))
+
+
+def solver_nan() -> bool:
+    """Whether to fake a diverged (NaN) primary solver attempt."""
+    if _config == {}:
+        return False
+    return fires("solver_nan") is not None
+
+
+def corrupt_checkpoint() -> bool:
+    """Whether to truncate the next checkpoint record mid-write."""
+    if _config == {}:
+        return False
+    return fires("corrupt_checkpoint") is not None

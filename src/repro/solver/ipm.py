@@ -237,6 +237,7 @@ def solve_qp_ipm(
     warm: dict = None,
     workspace: dict = None,
     reg: float = 1e-9,
+    time_limit: float = None,
 ) -> SolveResult:
     """Interior-point solve of ``min (1/2)x'Px + q'x s.t. l <= Ax <= u``.
 
@@ -260,6 +261,11 @@ def solve_qp_ipm(
         default keeps it positive definite when ``P`` has a null space;
         the fallback chain retries ill-conditioned solves with a much
         larger value (see :func:`repro.solver.robust.solve_qp_robust`).
+    time_limit:
+        Optional wall-clock budget in seconds.  When exceeded the loop
+        stops on the current iterate with status ``max_iter`` (noted as
+        a time-out in ``info``), so the fallback chain can move on
+        instead of spinning.
 
     Returns
     -------
@@ -335,7 +341,15 @@ def solve_qp_ipm(
 
     status = STATUS_MAX_ITER
     iters_done = max_iter
+    timed_out = False
     for it in range(1, max_iter + 1):
+        if (
+            time_limit is not None
+            and time.perf_counter() - t_start > time_limit
+        ):
+            timed_out = True
+            iters_done = it - 1
+            break
         r_dual = P @ x + q + Gt @ z
         r_prim = G @ x + s - h
         mu = float(s @ z) / m
@@ -428,6 +442,9 @@ def solve_qp_ipm(
             else "singular normal system: best iterate returned"
         )
         info["failed_at_iter"] = iters_done
+    elif timed_out and status == STATUS_MAX_ITER:
+        info["note"] = f"time limit ({time_limit:.3g}s) reached"
+        info["timed_out"] = True
     if trace is not None:
         info["trace"] = trace
     result = SolveResult(

@@ -50,6 +50,7 @@ def solve_qcp(
     warm: dict = None,
     lam_hint: float = None,
     workspace: dict = None,
+    time_limit: float = None,
 ) -> SolveResult:
     """Solve ``min c'x  s.t.  l <= Ax <= u,  (1/2)x'Qx + g'x <= s``.
 
@@ -79,6 +80,11 @@ def solve_qcp(
     workspace:
         Mutable dict carrying the IPM's pattern workspace across inner
         solves and across calls (see :func:`solve_qp_ipm`).
+    time_limit:
+        Wall-clock budget in seconds shared by the whole root search:
+        every inner solve gets the remaining time, and an exhausted
+        budget stops the search on the best bracketed iterate (status
+        ``max_iter``).
 
     Returns
     -------
@@ -98,6 +104,12 @@ def solve_qcp(
     total_iters = 0
     state = dict(warm) if warm else {}
     warm_started = bool(state)
+    deadline = (
+        t_start + float(time_limit) if time_limit is not None else None
+    )
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.perf_counter() >= deadline
 
     def inner(lam: float):
         nonlocal total_iters, state
@@ -111,6 +123,11 @@ def solve_qcp(
             qp_kwargs=qp_kwargs,
             warm=state or None,
             workspace=workspace,
+            time_limit=(
+                max(deadline - time.perf_counter(), 1e-3)
+                if deadline is not None
+                else None
+            ),
         )
         # chain state from whichever backend produced the result (the
         # fallback chain may have switched: z is the IPM dual, y ADMM's)
@@ -196,6 +213,14 @@ def solve_qcp(
     h_hi = h_of(res_hi)
     steps += 1
     while h_hi > feas_tol * h_scale:
+        if out_of_time():
+            return _package(
+                res_hi,
+                lam_hi,
+                steps,
+                status=STATUS_MAX_ITER,
+                note="time limit reached during bracket expansion",
+            )
         lam_lo = lam_hi
         lam_hi *= 10.0
         res_hi = inner(lam_hi)
@@ -223,6 +248,14 @@ def solve_qcp(
         and (lam_hi - lam_lo) > lam_tol * max(lam_hi, 1e-9)
         and abs(h_hi) > 0.1 * feas_tol * h_scale
     ):
+        if out_of_time():
+            return _package(
+                best,
+                best_lam,
+                steps,
+                note="time limit reached during root search; best "
+                "bracketed iterate returned",
+            )
         if lam_lo > 0:
             lam_mid = float(np.sqrt(lam_lo * lam_hi))
         else:

@@ -122,6 +122,7 @@ def solve_qp(
     scaling_iters: int = 10,
     x0=None,
     y0=None,
+    time_limit: float = None,
 ) -> SolveResult:
     """Solve the QP (see module docstring).
 
@@ -141,6 +142,10 @@ def solve_qp(
     y0:
         Optional dual warm start (a previous result's ``info["y"]``);
         pairs with ``x0`` when chaining sweep points.
+    time_limit:
+        Optional wall-clock budget in seconds, checked at every residual
+        checkpoint; on expiry the best iterate comes back with status
+        ``max_iter`` (noted as a time-out in ``info``).
 
     Returns
     -------
@@ -190,6 +195,7 @@ def solve_qp(
     r_prim_u = r_dual_u = np.inf
     iters_done = max_iter
     diverged = False
+    timed_out = False
     finite_snapshot = None
     for k in range(1, max_iter + 1):
         rhs = np.concatenate([_SIGMA * x - qs, z - y / rho])
@@ -236,6 +242,13 @@ def solve_qp(
             if r_prim_u <= eps_p and r_dual_u <= eps_d:
                 iters_done = k
                 break
+            if (
+                time_limit is not None
+                and time.perf_counter() - t_start > time_limit
+            ):
+                timed_out = True
+                iters_done = k
+                break
             if k % adapt_every == 0 and k < max_iter:
                 # adaptive rho (OSQP heuristic)
                 num = r_prim_u / max(eps_p, 1e-12)
@@ -252,6 +265,8 @@ def solve_qp(
     obj = float(0.5 * x_u @ (P @ x_u) + q @ x_u)
     if diverged:
         status = STATUS_DIVERGED
+    elif timed_out:
+        status = STATUS_MAX_ITER
     else:
         status = STATUS_SOLVED if iters_done < max_iter or (
             r_prim_u <= eps_abs + eps_rel and r_dual_u <= eps_abs + eps_rel
@@ -277,6 +292,9 @@ def solve_qp(
             else "non-finite iterate before the first checkpoint"
         )
         info["failed_at_iter"] = iters_done
+    elif timed_out and status == STATUS_MAX_ITER:
+        info["note"] = f"time limit ({time_limit:.3g}s) reached"
+        info["timed_out"] = True
     result = SolveResult(
         status=status,
         x=x_u,

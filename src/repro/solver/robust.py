@@ -26,12 +26,19 @@ telemetry is on, as ``fallback`` events in the run manifest.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import telemetry
+from repro.resilience import chaos
 from repro.solver.ipm import solve_qp_ipm
 from repro.solver.qp import solve_qp
-from repro.solver.result import STATUS_INFEASIBLE, SolveResult
+from repro.solver.result import (
+    STATUS_DIVERGED,
+    STATUS_INFEASIBLE,
+    SolveResult,
+)
 
 METHOD_ADMM = "admm"
 METHOD_IPM = "ipm"
@@ -53,7 +60,7 @@ def _ipm(P, q, A, l, u, warm=None, workspace=None, qp_kwargs=None,
                         **kwargs)
 
 
-def _admm(P, q, A, l, u, warm, qp_kwargs):
+def _admm(P, q, A, l, u, warm, qp_kwargs, time_limit=None):
     # Only forward kwargs ADMM understands; IPM-tuned ``max_iter``/
     # ``tol`` values would cripple a first-order method.
     kwargs = {
@@ -64,7 +71,7 @@ def _admm(P, q, A, l, u, warm, qp_kwargs):
     }
     warm = warm or {}
     return solve_qp(P, q, A, l, u, x0=warm.get("x"), y0=warm.get("y"),
-                    **kwargs)
+                    time_limit=time_limit, **kwargs)
 
 
 def solve_qp_robust(
@@ -77,6 +84,7 @@ def solve_qp_robust(
     qp_kwargs: dict = None,
     warm: dict = None,
     workspace: dict = None,
+    time_limit: float = None,
 ) -> SolveResult:
     """QP solve with the fallback/retry chain (see module docstring).
 
@@ -97,6 +105,12 @@ def solve_qp_robust(
         exists to shed.
     workspace:
         IPM pattern workspace dict, shared across chain steps and calls.
+    time_limit:
+        Wall-clock budget in seconds shared by the *whole* chain: each
+        step gets the remaining time, a timed-out backend yields to the
+        next step, and when the budget is exhausted the best attempt so
+        far is returned (status ``max_iter``) instead of starting
+        another backend.
 
     Returns
     -------
@@ -111,12 +125,43 @@ def solve_qp_robust(
     qp_kwargs = dict(qp_kwargs or {})
     attempts = []
     results = []
+    deadline = (
+        time.perf_counter() + float(time_limit)
+        if time_limit is not None
+        else None
+    )
+
+    def remaining():
+        """Seconds left in the chain's budget (None = unlimited)."""
+        if deadline is None:
+            return None
+        return deadline - time.perf_counter()
 
     def run(step: str, backend: str, **call_kwargs):
-        if backend == METHOD_IPM:
-            res = _ipm(P, q, A, l, u, qp_kwargs=qp_kwargs, **call_kwargs)
+        if chaos.solver_nan():
+            # injected numeric failure: a fabricated diverged verdict,
+            # exercising the same path as a real NaN blow-up
+            res = SolveResult(
+                status=STATUS_DIVERGED,
+                x=np.zeros(np.asarray(q).size),
+                obj=float("nan"),
+                iterations=0,
+                r_prim=float("inf"),
+                r_dual=float("inf"),
+                solve_time=0.0,
+                info={"note": "chaos: injected solver NaN"},
+            )
         else:
-            res = _admm(P, q, A, l, u, call_kwargs.get("warm"), qp_kwargs)
+            extra = {}
+            rem = remaining()
+            if rem is not None:
+                extra["time_limit"] = max(rem, 1e-3)
+            if backend == METHOD_IPM:
+                res = _ipm(P, q, A, l, u, qp_kwargs=qp_kwargs,
+                           **extra, **call_kwargs)
+            else:
+                res = _admm(P, q, A, l, u, call_kwargs.get("warm"),
+                            qp_kwargs, **extra)
         attempts.append(
             {
                 "step": step,
@@ -135,6 +180,20 @@ def solve_qp_robust(
         res.info["attempts"] = attempts
         return res
 
+    def best_effort(note: str) -> SolveResult:
+        for candidate in results:
+            if candidate.status == STATUS_INFEASIBLE:
+                return finish(candidate)
+        best = min(results, key=_residual_score)
+        if best.info.get("note"):
+            note += f" (best attempt: {best.info['note']})"
+        best.info["note"] = note
+        return finish(best)
+
+    def out_of_time() -> bool:
+        rem = remaining()
+        return rem is not None and rem <= 0
+
     primary, secondary = (
         (METHOD_IPM, METHOD_ADMM) if method == METHOD_IPM
         else (METHOD_ADMM, METHOD_IPM)
@@ -146,28 +205,27 @@ def solve_qp_robust(
     if res.status == STATUS_INFEASIBLE:
         if not res.warm_started:
             return finish(res)
+        if out_of_time():
+            return best_effort("solver time budget exhausted")
         # a pathological seed can blow up the duals and fake an
         # infeasibility verdict: confirm cold before reporting
         res = run(f"{primary}-cold", primary, workspace=workspace)
         if res.ok or res.status == STATUS_INFEASIBLE:
             return finish(res)
 
+    if out_of_time():
+        return best_effort("solver time budget exhausted")
+
     if primary == METHOD_IPM:
         # diverged / ill-conditioned / max_iter: regularize and go cold
         res = run("ipm-regularized", METHOD_IPM, reg=RETRY_REG)
         if res.ok or res.status == STATUS_INFEASIBLE:
             return finish(res)
+        if out_of_time():
+            return best_effort("solver time budget exhausted")
 
     res = run(secondary, secondary)
     if res.ok:
         return finish(res)
 
-    for candidate in results:
-        if candidate.status == STATUS_INFEASIBLE:
-            return finish(candidate)
-    best = min(results, key=_residual_score)
-    note = "fallback chain exhausted without convergence"
-    if best.info.get("note"):
-        note += f" (best attempt: {best.info['note']})"
-    best.info["note"] = note
-    return finish(best)
+    return best_effort("fallback chain exhausted without convergence")

@@ -60,6 +60,10 @@ EVENT_SCHEMA = {
     "sweep_point": {"dose_range", "status"},
     "cell_done": {"index", "design", "status"},
     "worker_retry": {"index", "error"},
+    "pool_restart": {"reason"},
+    "checkpoint_hit": {"key"},
+    "watchdog_kill": {"index", "seconds"},
+    "certify": {"ok", "mode"},
 }
 
 BASE_FIELDS = {"v", "ts", "pid", "event"}
