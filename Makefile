@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-dmopt bench-dmopt-smoke bench-paper chaos-smoke resume-smoke experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-dmopt bench-dmopt-smoke bench-paper bench-compare chaos-smoke resume-smoke obs-report experiments examples lint clean
 
 install:
 	pip install -e .[test]
@@ -31,6 +31,18 @@ chaos-smoke:
 # Kill-and-resume checkpoint smoke (byte-identical rows)
 resume-smoke:
 	PYTHONPATH=src python benchmarks/resume_smoke.py
+
+# Perf-regression gate: fresh bench smokes vs the committed baselines
+bench-compare:
+	PYTHONPATH=src python benchmarks/bench_sta.py --smoke --out /tmp/BENCH_sta_smoke.json
+	PYTHONPATH=src python benchmarks/bench_dmopt.py --smoke --out /tmp/BENCH_dmopt_smoke.json
+	PYTHONPATH=src python -m repro.obs compare BENCH_sta_smoke.json /tmp/BENCH_sta_smoke.json --tol 4.0 --allow-missing
+	PYTHONPATH=src python -m repro.obs compare BENCH_dmopt_smoke.json /tmp/BENCH_dmopt_smoke.json --tol 4.0 --allow-missing
+
+# Traced optimize run + manifest analysis (see docs/observability.md)
+obs-report:
+	PYTHONPATH=src python -m repro --trace /tmp/obs_demo.jsonl optimize AES-65 --grid 20 --mode qcp > /dev/null
+	PYTHONPATH=src python -m repro.obs report /tmp/obs_demo.jsonl
 
 experiments:
 	python -m repro.experiments

@@ -101,6 +101,7 @@ def _checkpointed_flow(ctx, args) -> FlowResult:
     dosePl, which golden-verifies its own swaps and stays live).
     """
     from repro import telemetry
+    from repro.obs import metrics
     from repro.resilience.checkpoint import (
         CheckpointStore,
         dmopt_result_from_payload,
@@ -117,6 +118,7 @@ def _checkpointed_flow(ctx, args) -> FlowResult:
     payload = store.get(key)
     if payload is not None:
         dmopt = dmopt_result_from_payload(payload)
+        metrics.inc("checkpoint.hits")
         telemetry.emit("checkpoint_hit", key=key)
         print(f"dose-map solve resumed from {args.checkpoint}")
     else:
@@ -272,7 +274,11 @@ def main(argv=None) -> int:
             enabled=True,
             path=None if args.trace is True else args.trace,
         )
-    return args.func(args)
+    from repro import obs
+
+    with obs.span(f"cli.{args.command}",
+                  design=getattr(args, "design", None)):
+        return args.func(args)
 
 
 if __name__ == "__main__":

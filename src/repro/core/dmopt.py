@@ -18,12 +18,13 @@ compiled vector engine by default (see :mod:`repro.sta.compiled`).
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
 from repro.core.formulate import Formulation, build_formulation
 from repro.core.snap import SNAP_CEIL, SNAP_NEAREST, snap_dose_map
@@ -114,6 +115,35 @@ class DMoptResult:
         )
 
 
+def _spanned(fn):
+    """Run a DMopt call under a ``dmopt`` tracing span (no-op when off).
+
+    The span carries the design / grid / mode attributes and, on the
+    way out, the solve status -- so a run manifest shows one ``dmopt``
+    node per optimization with ``dmopt.solve`` / ``dmopt.signoff`` /
+    ``dmopt.diagnose`` children.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(ctx, grid_size, *args, **kwargs):
+        if not telemetry.enabled():
+            return fn(ctx, grid_size, *args, **kwargs)
+        mode = kwargs.get("mode", args[0] if args else MODE_QCP)
+        with obs.span(
+            "dmopt",
+            design=getattr(getattr(ctx, "bundle", None), "name", None),
+            grid=float(grid_size),
+            mode=mode,
+        ) as sp:
+            res = fn(ctx, grid_size, *args, **kwargs)
+            if sp is not None:
+                sp["status"] = res.status
+            return res
+
+    return wrapper
+
+
+@_spanned
 def optimize_dose_map(
     ctx,
     grid_size: float,
@@ -224,7 +254,7 @@ def optimize_dose_map(
         return max(solve_deadline - time.perf_counter(), 1e-3)
 
     def _solve_and_sign_off(tau, warm):
-        with telemetry.stage(f"dmopt-solve-{mode}"):
+        with obs.span("dmopt.solve", mode=mode):
             if mode == MODE_QP:
                 u = form.u.copy()
                 u[form.row_clock] = tau
@@ -264,7 +294,7 @@ def optimize_dose_map(
         if solve.failed:
             # never sign off on a failed iterate: no snap, no golden eval
             return solve, None, None, float("nan"), None, float("nan")
-        with telemetry.stage("dmopt-signoff"):
+        with obs.span("dmopt.signoff"):
             poly, active, t_pred = form.split(solve.x)
             poly = snap_dose_map(poly, ctx.library, mode=snap_mode)
             if active is not None:
@@ -300,7 +330,7 @@ def optimize_dose_map(
     if solve.failed:
         # degrade gracefully: attribute the failure to a constraint
         # family, hand back the untouched baseline (zero delta doses)
-        with telemetry.stage("dmopt-diagnose"):
+        with obs.span("dmopt.diagnose"):
             report = diagnose_infeasibility(
                 form, tau=tau, qp_kwargs=qp_kwargs
             )

@@ -87,6 +87,7 @@ class DesignContext:
         """
         from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
         from repro.core.formulate import build_formulation
+        from repro.obs import metrics
 
         if dose_range is None:
             dose_range = DEFAULT_DOSE_RANGE
@@ -98,6 +99,7 @@ class DesignContext:
                                                         both_layers):
             form = None
         if form is None or (backend is not None and form.backend != backend):
+            metrics.inc("formulation.cache_miss")
             form = build_formulation(
                 self,
                 grid_size,
@@ -108,6 +110,8 @@ class DesignContext:
                 backend=backend,
             )
             self._formulation_cache[key] = form
+        else:
+            metrics.inc("formulation.cache_hit")
         return form.retarget(dose_range=dose_range, smoothness=smoothness)
 
     def _formulation_stale(self, form, grid_size: float,

@@ -141,28 +141,32 @@ def main(argv=None) -> int:
     # the same file (cell keys are content hashes, so tables never
     # collide)
     resume = args.resume
-    for name in names:
-        t0 = time.perf_counter()
-        kwargs = {}
-        if name in parallelizable:
-            # only pass flags the user actually set, so monkeypatched /
-            # reduced-signature table functions keep working
-            if args.jobs is not None:
-                kwargs["jobs"] = args.jobs
-            if args.checkpoint is not None:
-                kwargs["checkpoint"] = args.checkpoint
-                kwargs["resume"] = resume
-                resume = True
-            if args.cell_timeout is not None:
-                kwargs["cell_timeout"] = args.cell_timeout
-            if args.certify:
-                kwargs["certify"] = True
-        table = EXPERIMENTS[name](**kwargs)
-        elapsed = time.perf_counter() - t0
-        print(table.format())
-        print(f"[{name}: {elapsed:.1f} s]")
-        print()
-        (out_dir / f"{name}.txt").write_text(table.format() + "\n")
+    from repro import obs
+
+    with obs.span("experiments", names=names):
+        for name in names:
+            t0 = time.perf_counter()
+            kwargs = {}
+            if name in parallelizable:
+                # only pass flags the user actually set, so monkeypatched /
+                # reduced-signature table functions keep working
+                if args.jobs is not None:
+                    kwargs["jobs"] = args.jobs
+                if args.checkpoint is not None:
+                    kwargs["checkpoint"] = args.checkpoint
+                    kwargs["resume"] = resume
+                    resume = True
+                if args.cell_timeout is not None:
+                    kwargs["cell_timeout"] = args.cell_timeout
+                if args.certify:
+                    kwargs["certify"] = True
+            with obs.span(f"experiment.{name}"):
+                table = EXPERIMENTS[name](**kwargs)
+            elapsed = time.perf_counter() - t0
+            print(table.format())
+            print(f"[{name}: {elapsed:.1f} s]")
+            print()
+            (out_dir / f"{name}.txt").write_text(table.format() + "\n")
     return 0
 
 

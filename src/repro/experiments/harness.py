@@ -24,8 +24,9 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.constants import DEFAULT_DOSE_RANGE, DEFAULT_SMOOTHNESS
+from repro.obs import metrics
 from repro.resilience import chaos
 from repro.resilience.checkpoint import CheckpointStore, cell_key
 from repro.resilience.watchdog import (
@@ -215,19 +216,21 @@ def run_dmopt_cell(cell: DMoptCell, certify: bool = False,
     """
     from repro.core import optimize_dose_map
 
-    ctx = _cell_context(
-        cell.design, cell.scale, cell.fit_width or cell.both_layers
-    )
-    res = optimize_dose_map(
-        ctx,
-        cell.grid_size,
-        mode=cell.mode,
-        both_layers=cell.both_layers,
-        dose_range=cell.dose_range,
-        smoothness=cell.smoothness,
-        method=cell.method,
-        time_limit=time_limit,
-    )
+    with obs.span("cell", design=cell.design, grid=float(cell.grid_size),
+                  mode=cell.mode):
+        ctx = _cell_context(
+            cell.design, cell.scale, cell.fit_width or cell.both_layers
+        )
+        res = optimize_dose_map(
+            ctx,
+            cell.grid_size,
+            mode=cell.mode,
+            both_layers=cell.both_layers,
+            dose_range=cell.dose_range,
+            smoothness=cell.smoothness,
+            method=cell.method,
+            time_limit=time_limit,
+        )
     out = {
         "design": cell.design,
         "grid_size": cell.grid_size,
@@ -358,55 +361,60 @@ def run_dmopt_cells(
     telemetry.emit("run_begin", run="dmopt_cells", n_cells=len(cells),
                    jobs=jobs_resolved)
 
-    store = None
-    keys = [None] * len(cells)
-    results = [None] * len(cells)
-    todo = list(range(len(cells)))
-    if checkpoint is not None:
-        store = CheckpointStore(checkpoint, resume=resume)
-        todo = []
-        for idx, cell in enumerate(cells):
-            keys[idx] = cell_key(cell, certify=certify)
-            payload = store.get(keys[idx])
-            if payload is not None:
-                results[idx] = payload
-                telemetry.emit("checkpoint_hit", key=keys[idx])
-            else:
-                todo.append(idx)
+    with obs.span("harness.run_dmopt_cells", n_cells=len(cells),
+                  jobs=jobs_resolved):
+        store = None
+        keys = [None] * len(cells)
+        results = [None] * len(cells)
+        todo = list(range(len(cells)))
+        if checkpoint is not None:
+            store = CheckpointStore(checkpoint, resume=resume)
+            todo = []
+            for idx, cell in enumerate(cells):
+                keys[idx] = cell_key(cell, certify=certify)
+                payload = store.get(keys[idx])
+                if payload is not None:
+                    results[idx] = payload
+                    metrics.inc("checkpoint.hits")
+                    telemetry.emit("checkpoint_hit", key=keys[idx])
+                else:
+                    todo.append(idx)
 
-    stats = MapStats()
-    if todo:
-        tasks = [(idx, cells[idx], certify, timeout) for idx in todo]
+        stats = MapStats()
+        if todo:
+            tasks = [(idx, cells[idx], certify, timeout) for idx in todo]
 
-        def on_result(pos, res):
-            idx = todo[pos]
-            results[idx] = res
-            if res.get("status") == STATUS_TIMEOUT:
-                telemetry.emit("watchdog_kill", index=idx,
-                               seconds=res.get("runtime"))
-            elif store is not None:
-                store.put(keys[idx], res, kind="dmopt_cell")
+            def on_result(pos, res):
+                idx = todo[pos]
+                results[idx] = res
+                if res.get("status") == STATUS_TIMEOUT:
+                    metrics.inc("watchdog.kills")
+                    telemetry.emit("watchdog_kill", index=idx,
+                                   seconds=res.get("runtime"))
+                elif store is not None:
+                    store.put(keys[idx], res, kind="dmopt_cell")
 
-        supervised_map(
-            _run_cell_task,
-            tasks,
-            min(jobs_resolved, len(tasks)),
-            timeout=timeout,
-            on_result=on_result,
-            timeout_result=_timeout_result,
-            stats=stats,
-        )
-    if store is not None:
-        store.close()
+            supervised_map(
+                _run_cell_task,
+                tasks,
+                min(jobs_resolved, len(tasks)),
+                timeout=timeout,
+                on_result=on_result,
+                timeout_result=_timeout_result,
+                stats=stats,
+            )
+        if store is not None:
+            store.close()
 
-    for idx, (cell, res) in enumerate(zip(cells, results)):
-        telemetry.emit("cell_done", index=idx, design=cell.design,
-                       status=res["status"])
+        for idx, (cell, res) in enumerate(zip(cells, results)):
+            telemetry.emit("cell_done", index=idx, design=cell.design,
+                           status=res["status"])
     telemetry.emit("run_end", run="dmopt_cells",
                    seconds=time.perf_counter() - t0,
                    retries=stats.retries,
                    pool_restarts=stats.pool_restarts,
                    timeouts=stats.timeouts)
+    metrics.flush("run_end")
     if certify:
         _enforce_certification(cells, results)
     return results

@@ -1,0 +1,129 @@
+"""Hierarchical tracing spans over the telemetry manifest.
+
+A *span* is a timed region of the run with an identity (``span_id``), a
+trace it belongs to (``trace_id``), and a parent (``parent_id``), so the
+flat JSONL manifest can be reassembled into a wall-time tree::
+
+    with span("harness.run_dmopt_cells", n_cells=8):
+        ...
+        with span("cell", design="AES-65"):
+            ...
+
+Spans nest per thread (a thread-local stack) and *across processes*:
+entering a span exports ``REPRO_TRACE_CTX=<trace_id>:<span_id>`` to the
+environment, so a worker forked or spawned while the span is active
+parents its own root spans under it -- the pool workers of
+:func:`repro.experiments.harness.run_dmopt_cells` inherit the harness
+span exactly this way, and every process appends to the same manifest
+(line-atomic on POSIX), so ``python -m repro.obs report`` resolves the
+full harness -> cell -> solve -> STA tree from one file.
+
+Like the rest of telemetry, spans are **off by default**: with
+telemetry disabled, ``span()`` costs one early-returning check and
+yields ``None``.  Durations are monotonic (``time.perf_counter``)
+deltas; the emitted ``ts`` is the span's *end* wall time, so a span's
+approximate start is ``ts - seconds``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+
+from repro import telemetry
+
+#: Environment key carrying ``trace_id:span_id`` of the active span into
+#: child processes.
+ENV_CTX = "REPRO_TRACE_CTX"
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def current_context():
+    """Active ``(trace_id, span_id)``: this thread's innermost span,
+    else the context inherited from the environment (a parent process),
+    else ``(None, None)``."""
+    stack = _stack()
+    if stack:
+        top = stack[-1]
+        return top[0], top[1]
+    env = os.environ.get(ENV_CTX, "")
+    if ":" in env:
+        trace_id, span_id = env.split(":", 1)
+        if trace_id and span_id:
+            return trace_id, span_id
+    return None, None
+
+
+def current_trace_id():
+    """The active trace id, or ``None`` outside any span/trace."""
+    return current_context()[0]
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Time a named span; emits one ``span`` event on exit when on.
+
+    Yields a mutable attribute dict (annotate results discovered inside
+    the block: ``sp["status"] = ...``), or ``None`` when telemetry is
+    off.  An exception escaping the block is recorded as an ``error``
+    attribute before re-raising.
+    """
+    if not telemetry.enabled():
+        yield None
+        return
+    parent_trace, parent_span = current_context()
+    trace_id = parent_trace or _new_id()
+    span_id = _new_id()
+    stack = _stack()
+    stack.append((trace_id, span_id))
+    # export for processes forked/spawned while this span is active
+    prev_env = os.environ.get(ENV_CTX)
+    os.environ[ENV_CTX] = f"{trace_id}:{span_id}"
+    t0 = time.perf_counter()
+    try:
+        yield attrs
+    except BaseException as exc:
+        attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        seconds = time.perf_counter() - t0
+        stack.pop()
+        if prev_env is None:
+            os.environ.pop(ENV_CTX, None)
+        else:
+            os.environ[ENV_CTX] = prev_env
+        telemetry.emit(
+            "span",
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_span,
+            seconds=seconds,
+            **attrs,
+        )
+
+
+def _after_fork_in_child():
+    # The forked child inherits the forking thread's span stack, but it
+    # must not pop/emit the parent's open spans; its root context comes
+    # from ENV_CTX (which the parent set while the spans were active).
+    _local.stack = []
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork_in_child)

@@ -29,12 +29,14 @@ half on adjacent sweep points.
 from __future__ import annotations
 
 import time
+from collections import deque
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro import telemetry
+from repro import obs, telemetry
+from repro.obs import metrics
 from repro.solver.guards import prevalidate
 from repro.solver.result import (
     STATUS_DIVERGED,
@@ -307,8 +309,10 @@ def solve_qp_ipm(
     scale_obj = max(1.0, float(np.linalg.norm(q, np.inf)))
     scale_h = max(1.0, float(np.linalg.norm(h, np.inf)))
 
-    # per-iteration residual trace, recorded only when telemetry is on
-    trace = [] if telemetry.enabled() else None
+    # per-iteration convergence trace: always captured into a bounded
+    # ring buffer (attached to info["trace"]; entries are
+    # (iter, mu, r_prim, r_dual)), emitted only when telemetry is on
+    trace = deque(maxlen=obs.TRACE_MAXLEN)
 
     if warm is None and x0 is not None:
         warm = {"x": x0}
@@ -355,8 +359,7 @@ def solve_qp_ipm(
         mu = float(s @ z) / m
         rp_norm = float(np.linalg.norm(r_prim, np.inf))
         rd_norm = float(np.linalg.norm(r_dual, np.inf))
-        if trace is not None:
-            trace.append((it, mu, rp_norm, rd_norm))
+        trace.append((it, mu, rp_norm, rd_norm))
 
         if rp_norm <= tol * scale_h and rd_norm <= tol * scale_obj and (
             mu <= tol
@@ -445,8 +448,7 @@ def solve_qp_ipm(
     elif timed_out and status == STATUS_MAX_ITER:
         info["note"] = f"time limit ({time_limit:.3g}s) reached"
         info["timed_out"] = True
-    if trace is not None:
-        info["trace"] = trace
+    info["trace"] = list(trace)
     result = SolveResult(
         status=status,
         x=x,
@@ -465,6 +467,12 @@ def solve_qp_ipm(
 def _emit_solve(result: SolveResult):
     if not telemetry.enabled():
         return
+    metrics.inc("solver.ipm.solves")
+    metrics.observe(
+        "solver.ipm.iterations."
+        + ("warm" if result.warm_started else "cold"),
+        result.iterations,
+    )
     telemetry.emit(
         "solve",
         backend="ipm",

@@ -21,11 +21,13 @@ programs; the default for DMopt).
 from __future__ import annotations
 
 import time
+from collections import deque
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro import telemetry
+from repro import obs, telemetry
+from repro.obs import metrics
 from repro.solver.robust import METHOD_ADMM, METHOD_IPM, solve_qp_robust
 from repro.solver.result import STATUS_MAX_ITER, SolveResult
 
@@ -104,6 +106,10 @@ def solve_qcp(
     total_iters = 0
     state = dict(warm) if warm else {}
     warm_started = bool(state)
+    # root-search convergence trace (ring buffer; entries are
+    # (inner_solve, lam, h) with h the quadratic-constraint violation),
+    # attached to info["brackets"]
+    brackets = deque(maxlen=obs.TRACE_MAXLEN)
     deadline = (
         t_start + float(time_limit) if time_limit is not None else None
     )
@@ -145,20 +151,26 @@ def solve_qcp(
         total_iters += res.iterations
         return res
 
-    def h_of(res) -> float:
-        return _quad_value(Q, g, res.x) - s
+    def h_of(res, lam: float) -> float:
+        h = _quad_value(Q, g, res.x) - s
+        brackets.append((len(brackets) + 1, float(lam), h))
+        return h
 
     def _package(res, lam, steps, status=None, note=None):
         info = {
             "lam": lam,
             "quad": _quad_value(Q, g, res.x),
             "inner_solves": steps,
+            "brackets": list(brackets),
         }
         if note:
             info["note"] = note
         if "attempts" in res.info:
             info["attempts"] = res.info["attempts"]
         final_status = status or res.status
+        if telemetry.enabled():
+            metrics.inc("solver.qcp.solves")
+            metrics.observe("solver.qcp.inner_solves", steps)
         telemetry.emit(
             "qcp",
             status=final_status,
@@ -166,6 +178,7 @@ def solve_qcp(
             inner_solves=steps,
             iterations=total_iters,
             seconds=time.perf_counter() - t_start,
+            brackets=list(brackets),
             note=note,
         )
         return SolveResult(
@@ -193,7 +206,7 @@ def solve_qcp(
             note="linear constraint system failed at lam=0: "
             + res_lo.info.get("note", res_lo.status),
         )
-    h0 = h_of(res_lo)
+    h0 = h_of(res_lo, 0.0)
     if h0 <= feas_tol * scale:
         return _package(res_lo, 0.0, steps)
     h_scale = max(abs(h0), scale)
@@ -210,7 +223,7 @@ def solve_qcp(
         else 1e-4
     )
     res_hi = inner(lam_hi)
-    h_hi = h_of(res_hi)
+    h_hi = h_of(res_hi, lam_hi)
     steps += 1
     while h_hi > feas_tol * h_scale:
         if out_of_time():
@@ -230,7 +243,7 @@ def solve_qcp(
                 res_hi, lam_hi, steps,
                 note="inner solve failed during bracket expansion",
             )
-        h_hi = h_of(res_hi)
+        h_hi = h_of(res_hi, lam_hi)
         if lam_hi > 1e12:
             return _package(
                 res_hi,
@@ -264,7 +277,7 @@ def solve_qcp(
         steps += 1
         if res_mid.failed:
             break  # keep the best bracketed iterate found so far
-        h_mid = h_of(res_mid)
+        h_mid = h_of(res_mid, lam_mid)
         if h_mid <= feas_tol * h_scale:
             lam_hi, h_hi, res_hi = lam_mid, h_mid, res_mid
             best, best_lam = res_mid, lam_mid

@@ -19,12 +19,14 @@ KKT residuals on the full dose-map programs.
 from __future__ import annotations
 
 import time
+from collections import deque
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro import telemetry
+from repro import obs, telemetry
+from repro.obs import metrics
 from repro.solver.guards import prevalidate
 from repro.solver.result import (
     STATUS_DIVERGED,
@@ -197,6 +199,9 @@ def solve_qp(
     diverged = False
     timed_out = False
     finite_snapshot = None
+    # per-checkpoint convergence trace (ring buffer; entries are
+    # (iter, r_prim, r_dual, rho)), attached to info["trace"]
+    trace = deque(maxlen=obs.TRACE_MAXLEN)
     for k in range(1, max_iter + 1):
         rhs = np.concatenate([_SIGMA * x - qs, z - y / rho])
         x_tilde, nu = kkt.solve(rhs)
@@ -239,6 +244,7 @@ def solve_qp(
                 np.linalg.norm(q, np.inf),
                 np.linalg.norm(aty_u, np.inf),
             )
+            trace.append((k, r_prim_u, r_dual_u, rho_scalar))
             if r_prim_u <= eps_p and r_dual_u <= eps_d:
                 iters_done = k
                 break
@@ -284,7 +290,7 @@ def solve_qp(
         if r_p <= eps_abs * 10 and r_d <= eps_abs * 10:
             status = STATUS_SOLVED
 
-    info = {"rho": rho_scalar, "y": e * y / c}
+    info = {"rho": rho_scalar, "y": e * y / c, "trace": list(trace)}
     if diverged:
         info["note"] = (
             "non-finite iterate: last finite checkpoint returned"
@@ -313,6 +319,12 @@ def solve_qp(
 def _emit_solve(result: SolveResult):
     if not telemetry.enabled():
         return
+    metrics.inc("solver.admm.solves")
+    metrics.observe(
+        "solver.admm.iterations."
+        + ("warm" if result.warm_started else "cold"),
+        result.iterations,
+    )
     telemetry.emit(
         "solve",
         backend="admm",
@@ -322,5 +334,6 @@ def _emit_solve(result: SolveResult):
         r_dual=result.r_dual,
         seconds=result.solve_time,
         warm_started=result.warm_started,
+        trace=result.info.get("trace"),
         note=result.info.get("note"),
     )

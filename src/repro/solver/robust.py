@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from repro import telemetry
+from repro.obs import metrics
 from repro.resilience import chaos
 from repro.solver.ipm import solve_qp_ipm
 from repro.solver.qp import solve_qp
@@ -170,6 +171,11 @@ def solve_qp_robust(
                 "iterations": res.iterations,
             }
         )
+        if telemetry.enabled() and step != primary:
+            # retries/backend switches only: the happy path is one
+            # primary attempt and no fallback activity
+            metrics.inc("solver.fallback.attempts")
+            metrics.inc(f"solver.fallback.step.{step}")
         telemetry.emit("fallback", step=step, backend=backend,
                        status=res.status, iterations=res.iterations,
                        r_prim=res.r_prim, r_dual=res.r_dual)

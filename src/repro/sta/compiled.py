@@ -685,13 +685,18 @@ class VectorTimingAnalyzer:
         self._moved_pending = set()
 
     def _ensure_forward(self, vids):
+        from repro.obs import metrics
+
         if self._state is None:
+            metrics.inc("sta.full_retime")
             self._forward_full(vids)
             return
         dirty, load_dirty = self._dirty_cone(vids)
         if dirty is None:
+            metrics.inc("sta.full_retime")
             self._forward_full(vids)
         else:
+            metrics.inc("sta.incremental_retime")
             self._forward_incremental(vids, dirty, load_dirty)
 
     # ------------------------------------------------------------------

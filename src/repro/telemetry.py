@@ -23,9 +23,20 @@ appends stay line-atomic on POSIX.
 Schema
 ------
 Every event carries ``v`` (schema version), ``ts`` (unix seconds),
-``pid``, and ``event``; :data:`EVENT_SCHEMA` lists the per-event
-required fields.  ``python -m repro.telemetry <manifest.jsonl>``
-validates a manifest against the schema (the CI smoke lane).
+``mono`` (monotonic seconds, for in-process ordering immune to NTP
+steps), ``pid``, and ``event``; :data:`EVENT_SCHEMA` lists the
+per-event required fields.  ``python -m repro.telemetry
+<manifest.jsonl>`` validates a manifest against the schema (the CI
+smoke lane).
+
+Durations (``seconds`` fields) are always monotonic-clock deltas
+(``time.perf_counter``), never wall-clock differences, so an NTP step
+mid-run cannot produce negative timings.
+
+The hierarchical tracing layer (``span`` events) and the metrics
+registry (``metrics`` events) live in :mod:`repro.obs` and write
+through this sink; ``python -m repro.obs report`` analyzes the
+resulting manifest.
 """
 
 from __future__ import annotations
@@ -37,14 +48,14 @@ import threading
 import time
 from contextlib import contextmanager
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 ENV_FLAG = "REPRO_TELEMETRY"
 ENV_PATH = "REPRO_TELEMETRY_PATH"
 DEFAULT_PATH = "repro_telemetry.jsonl"
 
 #: Required payload fields per event type (beyond the base fields
-#: ``v``/``ts``/``pid``/``event``, required on every record).
+#: ``v``/``ts``/``mono``/``pid``/``event``, required on every record).
 EVENT_SCHEMA = {
     "run_begin": {"run"},
     "run_end": {"run", "seconds"},
@@ -64,9 +75,13 @@ EVENT_SCHEMA = {
     "checkpoint_hit": {"key"},
     "watchdog_kill": {"index", "seconds"},
     "certify": {"ok", "mode"},
+    # hierarchical tracing spans (repro.obs.spans)
+    "span": {"name", "trace_id", "span_id", "seconds"},
+    # per-process metrics-registry flush (repro.obs.metrics)
+    "metrics": {"counters", "gauges", "histograms"},
 }
 
-BASE_FIELDS = {"v", "ts", "pid", "event"}
+BASE_FIELDS = {"v", "ts", "mono", "pid", "event"}
 
 
 def _env_enabled() -> bool:
@@ -85,7 +100,7 @@ class _State:
         self._lock = threading.Lock()
 
     def write(self, record: dict):
-        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        line = _encode(record) + "\n"
         with self._lock:
             if self._fh is None:
                 self._fh = open(self.path, "a", encoding="utf-8")
@@ -100,6 +115,28 @@ class _State:
 
 
 _state = _State()
+
+
+def _encode(record: dict) -> str:
+    """JSON-encode one event, degrading rather than raising.
+
+    Telemetry must never kill a run: a field value that the JSON
+    encoder rejects (an arbitrary object, a circular structure, a
+    non-string dict key) is degraded to its ``repr()`` instead of
+    letting the exception propagate out of :func:`emit` mid-run.
+    """
+    try:
+        return json.dumps(record, separators=(",", ":"), default=repr)
+    except (TypeError, ValueError):
+        pass
+    degraded = {}
+    for key, value in record.items():
+        try:
+            json.dumps(value, separators=(",", ":"), default=repr)
+            degraded[str(key)] = value
+        except (TypeError, ValueError):
+            degraded[str(key)] = repr(value)
+    return json.dumps(degraded, separators=(",", ":"), default=repr)
 
 
 def enabled() -> bool:
@@ -132,6 +169,7 @@ def emit(event: str, **fields):
     record = {
         "v": SCHEMA_VERSION,
         "ts": time.time(),
+        "mono": time.monotonic(),
         "pid": os.getpid(),
         "event": event,
     }
@@ -141,7 +179,14 @@ def emit(event: str, **fields):
 
 @contextmanager
 def stage(name: str, **fields):
-    """Time a named stage; emits one ``stage`` event on exit when on."""
+    """Time a named stage; emits one ``stage`` event on exit when on.
+
+    The duration is a ``time.perf_counter`` (monotonic) delta, so a
+    wall-clock step (NTP adjustment) during the stage cannot yield a
+    negative or inflated ``seconds`` value.  For hierarchical timing
+    (parent/child nesting, cross-process traces) use
+    :func:`repro.obs.span` instead.
+    """
     if not _state.enabled:
         yield
         return

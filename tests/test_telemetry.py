@@ -77,6 +77,40 @@ class TestSink:
         (event,) = _events(manifest)  # must not raise on dump
         assert event["blocking"] == ["timing"]
 
+    def test_pathological_payload_degrades_to_repr(self, manifest):
+        """A field the JSON encoder rejects outright (circular structure,
+        non-string dict keys) degrades to repr() instead of raising and
+        killing the run; the healthy fields survive verbatim."""
+        circular = []
+        circular.append(circular)
+        telemetry.emit("run_begin", run="ok", loop=circular,
+                       weird={(1, 2): "tuple-keyed"})
+        (event,) = _events(manifest)
+        assert event["run"] == "ok"  # healthy field intact
+        assert isinstance(event["loop"], str)  # degraded, not dropped
+        assert "tuple-keyed" in str(event["weird"])
+
+    def test_emit_records_monotonic_base_field(self, manifest):
+        telemetry.emit("run_begin", run="mono")
+        (event,) = _events(manifest)
+        assert isinstance(event["mono"], float)
+
+    def test_stage_duration_immune_to_wall_clock_step(self, manifest,
+                                                      monkeypatch):
+        """An NTP step (wall clock jumping backwards mid-stage) must not
+        produce a negative duration: stage() times with perf_counter."""
+        import time as time_mod
+
+        real_time = time_mod.time
+        # wall clock jumps 1 hour backwards on every later call
+        monkeypatch.setattr(
+            telemetry.time, "time", lambda: real_time() - 3600.0
+        )
+        with telemetry.stage("ntp_step"):
+            pass
+        (event,) = _events(manifest)
+        assert event["seconds"] >= 0.0
+
 
 class TestValidation:
     def test_valid_manifest_passes(self, manifest):
@@ -146,4 +180,4 @@ class TestEndToEnd:
         assert "solve" in kinds
         assert "fallback" in kinds
         assert "dmopt" in kinds
-        assert "stage" in kinds
+        assert "span" in kinds  # dmopt's stages are tracing spans now
